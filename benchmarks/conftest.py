@@ -1,0 +1,99 @@
+"""Shared benchmark fixtures.
+
+``suite_results`` runs the full Table I experiment once per pytest session —
+every Table I circuit × {independent, dependent, parametric} — and caches
+the selection result, PPA overheads, security report, and CPU time.  The
+Table I / Table II / Fig. 3 benches all render from this single sweep, so
+the expensive part happens once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_MAX_GATES`` — skip circuits larger than this many gates
+  (default 0 = run all twelve; set e.g. 3000 for a quick pass).
+* ``REPRO_BENCH_SEED`` — selection seed (default 2016).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.analysis import OverheadReport, PpaAnalyzer
+from repro.circuits import PAPER_BENCHMARKS, benchmark_suite
+from repro.locking import (
+    ALGORITHMS,
+    SecurityAnalyzer,
+    SecurityReport,
+    SelectionResult,
+)
+
+ALGORITHM_ORDER = ("independent", "dependent", "parametric")
+
+
+@dataclass
+class SuiteEntry:
+    """One (circuit, algorithm) cell of the Table I sweep."""
+
+    circuit: str
+    algorithm: str
+    result: SelectionResult
+    overhead: OverheadReport
+    security: SecurityReport
+    select_seconds: float
+
+
+@dataclass
+class SuiteResults:
+    entries: Dict[Tuple[str, str], SuiteEntry]
+    circuit_order: List[str]
+
+    def entry(self, circuit: str, algorithm: str) -> SuiteEntry:
+        return self.entries[(circuit, algorithm)]
+
+    def column(self, algorithm: str) -> List[SuiteEntry]:
+        return [self.entry(c, algorithm) for c in self.circuit_order]
+
+
+@pytest.fixture(scope="session")
+def suite_results() -> SuiteResults:
+    max_gates = int(os.environ.get("REPRO_BENCH_MAX_GATES", "0"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+    circuits = benchmark_suite(seed=seed, max_gates=max_gates)
+    ppa = PpaAnalyzer()
+    security = SecurityAnalyzer()
+    entries: Dict[Tuple[str, str], SuiteEntry] = {}
+    for netlist in circuits:
+        for algorithm in ALGORITHM_ORDER:
+            print(
+                f"[suite] {netlist.name} / {algorithm} "
+                f"({len(netlist.gates)} gates)...",
+                file=sys.stderr,
+                flush=True,
+            )
+            algo = ALGORITHMS[algorithm](seed=seed)
+            result = algo.run(netlist)
+            entries[(netlist.name, algorithm)] = SuiteEntry(
+                circuit=netlist.name,
+                algorithm=algorithm,
+                result=result,
+                overhead=ppa.overhead(netlist, result.hybrid, algorithm),
+                security=security.analyze(result.hybrid, algorithm),
+                select_seconds=result.cpu_seconds,
+            )
+    return SuiteResults(
+        entries=entries, circuit_order=[n.name for n in circuits]
+    )
+
+
+@pytest.fixture(scope="session")
+def s641_pair():
+    """A small (circuit, hybrid) pair for per-unit benchmark timings."""
+    from repro.circuits import load_benchmark
+
+    netlist = load_benchmark("s641")
+    result = ALGORITHMS["parametric"](seed=1).run(netlist)
+    return netlist, result

@@ -1,0 +1,97 @@
+"""Ablation — the path-sampling machinery (Section IV-A, last paragraph).
+
+The paper samples 2 % of components to sidestep "the huge number of timing
+paths in large circuits".  This bench sweeps the sample rate and the
+flip-flop depth cap, showing the cost/coverage trade the 2 % figure buys."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import PathFinder, TimingAnalyzer
+from repro.circuits import load_benchmark
+from repro.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("s5378a")
+
+
+def test_sample_rate_ablation(design, benchmark):
+    timing = TimingAnalyzer()
+
+    def sweep():
+        rows = []
+        for rate in (0.005, 0.01, 0.02, 0.05):
+            start = time.perf_counter()
+            finder = PathFinder(design, timing=timing, sample_rate=rate, seed=9)
+            paths = finder.collect_paths()
+            elapsed = time.perf_counter() - start
+            depths = [p.n_flip_flops for p in paths]
+            rows.append(
+                (
+                    f"{rate:.1%}",
+                    len(paths),
+                    max(depths) if depths else 0,
+                    round(sum(depths) / len(depths), 1) if depths else 0,
+                    round(elapsed, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["sample rate", "unique paths", "max depth", "mean depth", "seconds"],
+            rows,
+            title="ablation: component sample rate (s5378a)",
+        )
+    )
+    counts = [r[1] for r in rows]
+    # More samples -> at least as many unique paths.
+    assert counts == sorted(counts)
+    # The deepest structures are already reachable at 2 %.
+    assert rows[2][2] >= rows[0][2]
+
+
+def test_ff_cap_ablation(design, benchmark):
+    timing = TimingAnalyzer()
+
+    def sweep():
+        rows = []
+        for cap in (4, 8, 16, 24):
+            finder = PathFinder(
+                design, timing=timing, max_flip_flops=cap, seed=9
+            )
+            paths = finder.collect_paths()
+            depths = [p.n_flip_flops for p in paths]
+            gates = [len(p.gates(design)) for p in paths]
+            rows.append(
+                (
+                    cap,
+                    len(paths),
+                    max(depths) if depths else 0,
+                    round(sum(gates) / len(gates), 1) if gates else 0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["FF cap", "unique paths", "max depth", "mean gates/path"],
+            rows,
+            title="ablation: flip-flop depth cap (s5378a)",
+        )
+    )
+    max_depths = [r[2] for r in rows]
+    caps = [r[0] for r in rows]
+    for cap, depth in zip(caps, max_depths):
+        assert depth <= cap
+    # Raising the cap unlocks deeper paths (monotone non-decreasing).
+    assert max_depths == sorted(max_depths)

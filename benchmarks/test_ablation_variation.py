@@ -1,0 +1,79 @@
+"""Ablation — process variation and thermal robustness (Section III).
+
+The paper sells STT on "excellent thermal robustness (300°C)" and low
+sensitivity to variations.  This bench quantifies both on a locked design:
+Monte-Carlo timing at room vs. elevated temperature for the original CMOS
+netlist and an all-LUT variant, plus timing yield of the actual parametric
+hybrid at its declared clock budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lock_design
+from repro.analysis import MonteCarloTiming, TimingAnalyzer, VariationModel
+from repro.circuits import load_benchmark
+from repro.netlist import replace_gates_with_luts
+from repro.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("s953")
+
+
+def test_thermal_robustness(design, benchmark):
+    def sweep():
+        all_lut = design.copy("all_lut")
+        replace_gates_with_luts(all_lut, list(all_lut.gates))
+        rows = []
+        for temp in (25.0, 85.0, 150.0):
+            model = VariationModel(temp_c=temp)
+            cmos_rep = MonteCarloTiming(model=model, seed=4).run(design, samples=40)
+            stt_rep = MonteCarloTiming(model=model, seed=4).run(all_lut, samples=40)
+            rows.append(
+                (
+                    f"{temp:.0f} °C",
+                    round(cmos_rep.mean_delay_ns, 3),
+                    round(stt_rep.mean_delay_ns, 3),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["temperature", "CMOS mean delay (ns)", "all-LUT mean delay (ns)"],
+            rows,
+            title="thermal derating: CMOS vs. STT-LUT implementation (s953)",
+        )
+    )
+    cmos_growth = rows[-1][1] / rows[0][1]
+    stt_growth = rows[-1][2] / rows[0][2]
+    print(
+        f"25→150 °C delay growth: CMOS ×{cmos_growth:.3f}, "
+        f"STT ×{stt_growth:.3f}"
+    )
+    assert stt_growth < cmos_growth
+
+
+def test_hybrid_timing_yield_at_budget(design, benchmark):
+    """The parametric hybrid must still yield at its declared clock budget
+    (nominal delay × (1 + margin)) under process variation."""
+
+    def measure():
+        result = lock_design(design, algorithm="parametric", seed=6)
+        nominal = TimingAnalyzer().max_delay(design)
+        budget = nominal * 1.08 * 1.05  # margin + 5% variation guard-band
+        mc = MonteCarloTiming(seed=8)
+        report = mc.run(result.hybrid, samples=100, clock_period_ns=budget)
+        return report
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nhybrid timing yield at guard-banded budget "
+        f"({report.clock_period_ns:.3f} ns): {report.timing_yield:.2%} "
+        f"(mean {report.mean_delay_ns:.3f} ns, σ {report.sigma_ns:.3f} ns)"
+    )
+    assert report.timing_yield >= 0.9

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Lock a datapath IP: an ALU, end to end, with waveforms.
+
+The paper's introduction motivates the flow with IP piracy: a datapath block
+is exactly what a design house wants to keep un-clonable.  This example:
+
+1. generates a 4-bit registered ALU and checks it against a reference model;
+2. runs the security-driven flow (parametric-aware, with decoy pins);
+3. shows the foundry view cannot even be simulated (unknown functions);
+4. programs a die and replays the same ALU operations on it;
+5. dumps a VCD waveform of the provisioned hybrid for GTKWave.
+
+Run:  python examples/lock_an_alu.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.circuits import ALU_OPS, alu, alu_reference
+from repro.locking import SecurityDrivenFlow, SecurityLevel, SecurityRequirement
+from repro.lut import HybridMapper, bitstream
+from repro.netlist import NetlistError, bench_io
+from repro.sim import SequentialSimulator, dump_vcd
+
+WIDTH = 4
+
+
+def drive(netlist, a: int, b: int, op: int) -> int:
+    """Two-cycle ALU transaction: issue, then read the registered result."""
+    sim = SequentialSimulator(netlist)
+    inputs = {f"a{i}": (a >> i) & 1 for i in range(WIDTH)}
+    inputs.update({f"b{i}": (b >> i) & 1 for i in range(WIDTH)})
+    inputs["op0"] = op & 1
+    inputs["op1"] = (op >> 1) & 1
+    sim.step(inputs)
+    values = sim.step(inputs)
+    result = 0
+    for i in range(WIDTH):
+        result |= values[f"y{i}"] << i
+    return result
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="alu_lock_"))
+    design = alu(WIDTH)
+    print(f"generated {design.stats()}")
+
+    rng = random.Random(0)
+    for _ in range(4):
+        a, b, op = rng.getrandbits(WIDTH), rng.getrandbits(WIDTH), rng.randrange(4)
+        got = drive(design, a, b, op)
+        want = alu_reference(a, b, op, WIDTH)
+        print(f"  {a:2d} {ALU_OPS[op]:>3s} {b:2d} = {got:2d} (reference {want:2d})")
+        assert got == want
+
+    print("\nrunning the security-driven flow (parametric-aware, +1 decoy pin)")
+    flow = SecurityDrivenFlow()
+    report = flow.run(
+        design,
+        SecurityRequirement(
+            level=SecurityLevel.STRONG_TIMING_AWARE,
+            decoy_inputs=1,
+            seed=3,
+        ),
+        output_dir=workdir,
+    )
+    print(report.summary())
+
+    print("\nthe foundry view is not even simulatable:")
+    fabricated = bench_io.load(report.artifacts["foundry_bench"])
+    try:
+        drive(fabricated, 1, 2, 0)
+    except NetlistError as exc:
+        print(f"  simulation refused: {exc}")
+
+    print("\nprovisioning one die and replaying the transactions:")
+    record = bitstream.load(report.artifacts["bitstream"])
+    provisioned = HybridMapper().program(fabricated, record)
+    rng = random.Random(0)
+    for _ in range(4):
+        a, b, op = rng.getrandbits(WIDTH), rng.getrandbits(WIDTH), rng.randrange(4)
+        got = drive(provisioned, a, b, op)
+        assert got == alu_reference(a, b, op, WIDTH)
+        print(f"  {a:2d} {ALU_OPS[op]:>3s} {b:2d} = {got:2d} ✓")
+
+    wave = dump_vcd(provisioned, workdir / "alu_hybrid.vcd", cycles=32, seed=1)
+    print(f"\nwaveform written: {wave} (open with GTKWave)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The complete security-driven hybrid STT-CMOS design flow (paper Fig. 2),
+acted out role by role.
+
+Design house: synthesize -> select & replace -> keep the bitstream secret.
+Untrusted foundry: receives netlist + layout collateral with the LUT
+configurations withheld; fabricates.
+Design house again: programs each die at a secure provisioning station;
+signs off with a formal equivalence check.
+
+Run:  python examples/secure_asic_flow.py [circuit] [algorithm]
+      (defaults: s953 parametric)
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import lock_design
+from repro.analysis import PpaAnalyzer
+from repro.circuits import load_benchmark
+from repro.lut import HybridMapper, bitstream
+from repro.netlist import bench_io, verilog_io
+from repro.sat import check_equivalence
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "s953"
+    algorithm = sys.argv[2] if len(sys.argv) > 2 else "parametric"
+    workdir = Path(tempfile.mkdtemp(prefix="stt_flow_"))
+    print(f"work directory: {workdir}\n")
+
+    # ------------------------------------------------------------------
+    print("== design house: logic synthesis ==")
+    design = load_benchmark(circuit)
+    print(f"   synthesized netlist: {design.stats()}")
+
+    print(f"\n== design house: CMOS gate selection & replacement ({algorithm}) ==")
+    result = lock_design(design, algorithm=algorithm, seed=7)
+    print(f"   {result.n_stt} gates are now reconfigurable STT LUTs")
+    overhead = PpaAnalyzer().overhead(design, result.hybrid, algorithm)
+    print(
+        f"   parametric impact: delay +{overhead.performance_degradation_pct:.2f}%, "
+        f"power +{overhead.power_overhead_pct:.2f}%, "
+        f"area +{overhead.area_overhead_pct:.2f}%"
+    )
+
+    # ------------------------------------------------------------------
+    print("\n== hand-off to the untrusted foundry ==")
+    foundry_bench = workdir / f"{circuit}_foundry.bench"
+    foundry_verilog = workdir / f"{circuit}_foundry.v"
+    bench_io.dump(result.hybrid, foundry_bench, include_config=False)
+    verilog_io.dump(result.hybrid, foundry_verilog, include_config=False)
+    print(f"   netlist:  {foundry_bench}")
+    print(f"   verilog:  {foundry_verilog}")
+    print("   (every LUT reads 'LUT(?; ...)': the function is not on the mask)")
+
+    # The provisioning secret never leaves the design house.
+    secret_path = workdir / f"{circuit}.stt"
+    bitstream.dump(result.provisioning, secret_path)
+    print(f"   secret bitstream retained by design house: {secret_path}")
+    print(f"   ({result.provisioning.total_bits} configuration bits)")
+
+    # ------------------------------------------------------------------
+    print("\n== foundry: fabrication (simulated) ==")
+    fabricated = bench_io.load(foundry_bench)
+    print(
+        f"   fabricated die has {len(fabricated.luts)} blank NV-LUTs; "
+        "the foundry cannot determine their functions, so it cannot "
+        "overproduce working parts"
+    )
+
+    # ------------------------------------------------------------------
+    print("\n== design house: post-fabrication provisioning ==")
+    mapper = HybridMapper()
+    record = bitstream.load(secret_path)
+    provisioned = mapper.program(fabricated, record)
+    energy_pj, time_ns = mapper.program_cost(record)
+    print(
+        f"   programmed {len(record)} LUTs: {energy_pj:.1f} pJ, "
+        f"{time_ns / 1000:.1f} µs serial write time "
+        "(MTJ writes are expensive but happen once)"
+    )
+
+    # ------------------------------------------------------------------
+    print("\n== sign-off: formal equivalence ==")
+    verdict = check_equivalence(design, provisioned)
+    print(f"   provisioned die == original design: {bool(verdict)}")
+    assert verdict.equivalent
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro — Hybrid STT-CMOS designs for reverse-engineering prevention.
+
+A from-scratch reproduction of Winograd et al., DAC 2016: a security-driven
+design flow that replaces selected CMOS gates in a gate-level netlist with
+non-volatile STT-MRAM look-up tables so an untrusted foundry cannot
+determine — and therefore cannot reverse-engineer or overproduce — the
+design, at bounded performance/power/area cost.
+
+Quickstart::
+
+    from repro import lock_design
+    from repro.circuits import load_benchmark
+
+    original = load_benchmark("s641")
+    result = lock_design(original, algorithm="parametric", seed=1)
+    print(result.n_stt, "gates are now reconfigurable STT LUTs")
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.netlist` — gate-level netlists, ``.bench``/Verilog I/O, graphs
+- :mod:`repro.techlib` — CMOS and STT-LUT technology libraries
+- :mod:`repro.analysis` — STA, power, area, path discovery
+- :mod:`repro.sim` — logic simulation and test generation
+- :mod:`repro.sat` — CDCL SAT solver, CNF translation, equivalence
+- :mod:`repro.lut` — LUT configs, mapping, provisioning bitstreams
+- :mod:`repro.locking` — the paper's three selection algorithms + metrics
+- :mod:`repro.attacks` — testing / brute-force / SAT adversaries
+- :mod:`repro.circuits` — ISCAS'89-class benchmark suite
+"""
+
+from __future__ import annotations
+
+from .locking import (
+    ALGORITHMS,
+    DependentSelection,
+    IndependentSelection,
+    ParametricSelection,
+    SecurityAnalyzer,
+    SelectionResult,
+)
+from .analysis import PpaAnalyzer
+from .netlist import Netlist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "lock_design",
+    "ALGORITHMS",
+    "DependentSelection",
+    "IndependentSelection",
+    "ParametricSelection",
+    "SecurityAnalyzer",
+    "SelectionResult",
+    "PpaAnalyzer",
+    "Netlist",
+]
+
+
+def lock_design(
+    netlist: Netlist,
+    algorithm: str = "parametric",
+    seed: int = 0,
+    decoy_inputs: int = 0,
+    absorb: bool = False,
+    **params: object,
+) -> SelectionResult:
+    """Run one of the paper's selection algorithms on *netlist*.
+
+    Args:
+        netlist: the synthesized gate-level design (left unmodified).
+        algorithm: ``"independent"``, ``"dependent"``, or ``"parametric"``.
+        seed: randomness seed (selection is randomized, Section V).
+        decoy_inputs: widen each LUT with up to this many functionally
+            ignored pins (search-space expansion, Section IV-A.3).
+        absorb: fold single-fanout driving gates into LUTs (complex-function
+            LUTs, Section IV-A.3).
+        **params: algorithm-specific keyword arguments (e.g. ``n_gates`` for
+            independent, ``n_io_paths`` for dependent/parametric).
+
+    Returns the :class:`~repro.locking.base.SelectionResult` with the
+    provisioned hybrid netlist, foundry view, and provisioning record.
+    """
+    try:
+        algorithm_cls = ALGORITHMS[algorithm]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from exc
+    instance = algorithm_cls(
+        seed=seed, decoy_inputs=decoy_inputs, absorb=absorb, **params
+    )
+    return instance.run(netlist)

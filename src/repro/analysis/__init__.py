@@ -1,0 +1,46 @@
+"""Design analysis engines: timing, power, area, paths, combined PPA."""
+
+from .area import AreaAnalyzer, AreaReport
+from .paths import IOPath, PathFinder
+from .power import (
+    PowerAnalyzer,
+    PowerReport,
+    estimate_activities,
+    signal_probabilities,
+)
+from .ppa import OverheadReport, PpaAnalyzer, PpaReport
+from .sta import TimingAnalyzer, TimingReport
+from .variation import MonteCarloTiming, VariationModel, YieldReport
+from .sidechannel import (
+    LeakageReport,
+    PowerTrace,
+    PowerTraceSimulator,
+    compare_leakage,
+    correlation_attack,
+    pearson,
+)
+
+__all__ = [
+    "AreaAnalyzer",
+    "AreaReport",
+    "IOPath",
+    "PathFinder",
+    "PowerAnalyzer",
+    "PowerReport",
+    "estimate_activities",
+    "signal_probabilities",
+    "OverheadReport",
+    "PpaAnalyzer",
+    "PpaReport",
+    "TimingAnalyzer",
+    "TimingReport",
+    "LeakageReport",
+    "PowerTrace",
+    "PowerTraceSimulator",
+    "compare_leakage",
+    "correlation_attack",
+    "pearson",
+    "MonteCarloTiming",
+    "VariationModel",
+    "YieldReport",
+]

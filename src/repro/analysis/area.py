@@ -1,0 +1,74 @@
+"""Area accounting.
+
+Sums placed cell area over the netlist; STT LUT nodes take their area from
+the STT library (the MTJ array sits above the CMOS sense amplifier, but the
+paper — and we — charge the full hybrid cell footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+from ..techlib.cells import TechLibrary, cmos_90nm
+from ..techlib.stt import SttLibrary, stt_mtj_32nm
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Total and per-node placed area in µm²."""
+
+    total_um2: float
+    cmos_um2: float
+    stt_um2: float
+    sequential_um2: float
+    per_node_um2: Dict[str, float] = field(repr=False)
+
+
+class AreaAnalyzer:
+    """Area engine bound to a CMOS + STT library pair."""
+
+    def __init__(
+        self,
+        tech: Optional[TechLibrary] = None,
+        stt: Optional[SttLibrary] = None,
+    ):
+        self.tech = tech or cmos_90nm()
+        self.stt = stt or stt_mtj_32nm()
+
+    def analyze(self, netlist: Netlist) -> AreaReport:
+        per_node: Dict[str, float] = {}
+        cmos = stt_area = sequential = 0.0
+        for node in netlist:
+            if node.is_input:
+                continue
+            if node.gate_type is GateType.LUT:
+                area = self.stt.lut(node.n_inputs).area_um2
+                stt_area += area
+            elif node.is_sequential:
+                area = self.tech.dff.area_um2
+                sequential += area
+            else:
+                area = self.tech.cell(node.gate_type, node.n_inputs).area_um2
+                cmos += area
+            per_node[node.name] = area
+        return AreaReport(
+            total_um2=cmos + stt_area + sequential,
+            cmos_um2=cmos,
+            stt_um2=stt_area,
+            sequential_um2=sequential,
+            per_node_um2=per_node,
+        )
+
+    def total_area_um2(self, netlist: Netlist) -> float:
+        return self.analyze(netlist).total_um2
+
+    def area_overhead_pct(self, original: Netlist, hybrid: Netlist) -> float:
+        """Relative area increase, in percent (Table I)."""
+        base = self.total_area_um2(original)
+        new = self.total_area_um2(hybrid)
+        if base <= 0.0:
+            return 0.0
+        return (new - base) / base * 100.0

@@ -1,0 +1,155 @@
+"""Static timing analysis.
+
+Topological STA over the combinational view of a netlist: primary inputs and
+DFF Q pins are timing startpoints, primary outputs and DFF D pins are
+endpoints.  The *delay of the longest path* — the paper's performance metric
+in Table I — is the maximum endpoint arrival time.
+
+Hybrid netlists are timed with two libraries: CMOS gates from a
+:class:`~repro.techlib.cells.TechLibrary`, LUT nodes from a
+:class:`~repro.techlib.stt.SttLibrary` (whose delay depends only on fan-in,
+never on the configuration — so timing does not leak the secret function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.gates import GateType
+from ..netlist.graph import topological_order
+from ..netlist.netlist import Netlist
+from ..techlib.cells import TechLibrary, cmos_90nm
+from ..techlib.stt import SttLibrary, stt_mtj_32nm
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run.
+
+    Attributes:
+        max_delay_ns: delay of the longest combinational path.
+        critical_path: net names from startpoint to endpoint.
+        arrival_ns: per-net arrival times.
+        endpoint: the endpoint net realising ``max_delay_ns``.
+        clock_period_ns: the constraint used for slack, if any.
+    """
+
+    max_delay_ns: float
+    critical_path: Tuple[str, ...]
+    arrival_ns: Dict[str, float] = field(repr=False)
+    endpoint: str = ""
+    clock_period_ns: Optional[float] = None
+
+    @property
+    def slack_ns(self) -> Optional[float]:
+        """Worst slack against the clock constraint (None if unconstrained)."""
+        if self.clock_period_ns is None:
+            return None
+        return self.clock_period_ns - self.max_delay_ns
+
+    @property
+    def met(self) -> bool:
+        """True when the design meets its clock constraint (or has none)."""
+        slack = self.slack_ns
+        return slack is None or slack >= -1e-12
+
+    def critical_gates(self) -> Tuple[str, ...]:
+        """The combinational nodes on the critical path (endpoints included
+        only if they are gates)."""
+        return self.critical_path
+
+
+class TimingAnalyzer:
+    """Reusable STA engine bound to a CMOS + STT library pair."""
+
+    def __init__(
+        self,
+        tech: Optional[TechLibrary] = None,
+        stt: Optional[SttLibrary] = None,
+    ):
+        self.tech = tech or cmos_90nm()
+        self.stt = stt or stt_mtj_32nm()
+
+    def gate_delay(self, netlist: Netlist, name: str) -> float:
+        """Propagation delay of the node driving *name*, in ns."""
+        node = netlist.node(name)
+        if node.is_input:
+            return 0.0
+        if node.is_sequential:
+            return self.tech.dff.clk_to_q_ns
+        if node.gate_type is GateType.LUT:
+            return self.stt.lut(node.n_inputs).delay_ns
+        return self.tech.cell(node.gate_type, node.n_inputs).delay_ns
+
+    def analyze(
+        self,
+        netlist: Netlist,
+        clock_period_ns: Optional[float] = None,
+    ) -> TimingReport:
+        """Run STA; returns arrivals, longest-path delay, and critical path."""
+        arrival: Dict[str, float] = {}
+        worst_fanin: Dict[str, Optional[str]] = {}
+        order = topological_order(netlist)
+        for name in order:
+            node = netlist.node(name)
+            if node.is_input:
+                arrival[name] = 0.0
+                worst_fanin[name] = None
+            elif node.is_sequential:
+                arrival[name] = self.tech.dff.clk_to_q_ns
+                worst_fanin[name] = None
+            else:
+                best_src, best_arr = None, 0.0
+                for src in node.fanin:
+                    src_arr = arrival[src]
+                    if best_src is None or src_arr > best_arr:
+                        best_src, best_arr = src, src_arr
+                arrival[name] = best_arr + self.gate_delay(netlist, name)
+                worst_fanin[name] = best_src
+
+        endpoint, max_delay = "", 0.0
+        # Endpoints: primary outputs and D pins of flip-flops (data arrival
+        # plus setup must fit in the period; setup is added uniformly so it
+        # cancels in overhead comparisons).
+        for po in netlist.outputs:
+            if arrival.get(po, 0.0) > max_delay:
+                endpoint, max_delay = po, arrival[po]
+        for ff in netlist.flip_flops:
+            d_pin = netlist.node(ff).fanin[0]
+            d_arr = arrival.get(d_pin, 0.0) + self.tech.dff.setup_ns
+            if d_arr > max_delay:
+                endpoint, max_delay = d_pin, d_arr
+
+        path: List[str] = []
+        cursor: Optional[str] = endpoint or None
+        while cursor is not None:
+            path.append(cursor)
+            cursor = worst_fanin.get(cursor)
+        path.reverse()
+
+        return TimingReport(
+            max_delay_ns=max_delay,
+            critical_path=tuple(path),
+            arrival_ns=arrival,
+            endpoint=endpoint,
+            clock_period_ns=clock_period_ns,
+        )
+
+    def max_delay(self, netlist: Netlist) -> float:
+        """Shortcut: just the longest-path delay."""
+        return self.analyze(netlist).max_delay_ns
+
+    def path_delay(self, netlist: Netlist, path: List[str]) -> float:
+        """Sum of gate delays along an explicit node sequence."""
+        return sum(self.gate_delay(netlist, name) for name in path)
+
+    def performance_degradation_pct(
+        self, original: Netlist, hybrid: Netlist
+    ) -> float:
+        """Relative longest-path-delay increase, in percent (Table I)."""
+        base = self.max_delay(original)
+        new = self.max_delay(hybrid)
+        if base <= 0.0:
+            return 0.0
+        return max(0.0, (new - base) / base * 100.0)

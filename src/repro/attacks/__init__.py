@@ -1,0 +1,25 @@
+"""Attack simulations: the adversaries the paper's defence is judged against."""
+
+from .oracle import ConfiguredOracle, OracleAccessError
+from .testing_attack import TestingAttack, TestingAttackResult
+from .brute_force import BruteForceAttack, BruteForceResult, candidate_configs
+from .sat_attack import SatAttack, SatAttackResult, verify_key
+from .ml_attack import MlAttack, MlAttackResult
+from .sequential_sat import SequentialSatAttack, SequentialSatResult
+
+__all__ = [
+    "ConfiguredOracle",
+    "OracleAccessError",
+    "TestingAttack",
+    "TestingAttackResult",
+    "BruteForceAttack",
+    "BruteForceResult",
+    "candidate_configs",
+    "SatAttack",
+    "SatAttackResult",
+    "verify_key",
+    "MlAttack",
+    "MlAttackResult",
+    "SequentialSatAttack",
+    "SequentialSatResult",
+]

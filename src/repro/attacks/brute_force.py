@@ -1,0 +1,171 @@
+"""Brute-force attack (Eq. 3 of the paper).
+
+When partial truth tables cannot be developed (parametric-aware selection),
+"a more plausible approach for the attacker is to launch a brute force ...
+attack": enumerate candidate function assignments over all missing gates and
+test each hypothesis against the configured chip.  Equation 3 counts the
+clocks this needs — ``2^I · P^M · D`` — and this module realises the attack
+so the bound can be validated on small designs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.gates import CANDIDATE_TYPES, GateType, truth_table
+from ..netlist.netlist import Netlist
+from ..sim.logicsim import CombinationalSimulator
+from .oracle import ConfiguredOracle
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of the exhaustive hypothesis search."""
+
+    found: Optional[Dict[str, int]] = None
+    hypotheses_tested: int = 0
+    hypotheses_total: int = 0
+    oracle_queries: int = 0
+    test_clocks: int = 0
+    exhausted_budget: bool = False
+    survivors: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return self.found is not None
+
+
+def candidate_configs(n_inputs: int) -> List[int]:
+    """The candidate configurations for one missing gate: the 6 meaningful
+    gate functions at the LUT's fan-in (the paper's P); for 1-input LUTs
+    (BUF/NOT replacements) the two non-constant functions."""
+    if n_inputs == 1:
+        return [
+            truth_table(GateType.NOT, 1),
+            truth_table(GateType.BUF, 1),
+        ]
+    seen: Dict[int, None] = {}
+    for gate_type in CANDIDATE_TYPES:
+        seen.setdefault(truth_table(gate_type, n_inputs), None)
+    return list(seen)
+
+
+class BruteForceAttack:
+    """Enumerate candidate configurations for every missing gate and keep
+    the hypotheses consistent with the oracle.
+
+    A set of random distinguishing patterns is drawn first; each hypothesis
+    is simulated against them and discarded on the first mismatch.  With
+    ``confirm_patterns`` survivors are re-checked on fresh patterns until a
+    single hypothesis remains (or the budget runs out).
+    """
+
+    def __init__(
+        self,
+        foundry_netlist: Netlist,
+        oracle: ConfiguredOracle,
+        seed: int = 0,
+        screen_patterns: int = 24,
+        confirm_patterns: int = 24,
+        max_hypotheses: int = 2_000_000,
+    ):
+        self.netlist = foundry_netlist
+        self.oracle = oracle
+        self.rng = random.Random(seed)
+        self.screen_patterns = screen_patterns
+        self.confirm_patterns = confirm_patterns
+        self.max_hypotheses = max_hypotheses
+
+    def run(self) -> BruteForceResult:
+        result = BruteForceResult()
+        luts = [
+            name
+            for name in self.netlist.luts
+            if self.netlist.node(name).lut_config is None
+        ]
+        if not luts:
+            result.found = {}
+            return result
+        spaces = [candidate_configs(self.netlist.node(n).n_inputs) for n in luts]
+        total = 1
+        for space in spaces:
+            total *= len(space)
+        result.hypotheses_total = total
+
+        patterns = self._draw_patterns(self.screen_patterns)
+        responses = self._oracle_responses(patterns)
+        working = self.netlist.copy(f"{self.netlist.name}_bf")
+        comb = CombinationalSimulator(working)
+
+        survivors: List[Dict[str, int]] = []
+        for assignment in itertools.product(*spaces):
+            if result.hypotheses_tested >= self.max_hypotheses:
+                result.exhausted_budget = True
+                break
+            result.hypotheses_tested += 1
+            hypothesis = dict(zip(luts, assignment))
+            if self._consistent(working, comb, hypothesis, patterns, responses):
+                survivors.append(hypothesis)
+
+        # Disambiguate survivors with fresh patterns.
+        rounds = 0
+        while len(survivors) > 1 and rounds < 8:
+            rounds += 1
+            extra = self._draw_patterns(self.confirm_patterns)
+            extra_responses = self._oracle_responses(extra)
+            survivors = [
+                h
+                for h in survivors
+                if self._consistent(working, comb, h, extra, extra_responses)
+            ]
+        result.survivors = survivors
+        if len(survivors) == 1:
+            result.found = survivors[0]
+        result.oracle_queries = self.oracle.queries
+        result.test_clocks = self.oracle.test_clocks
+        return result
+
+    # ------------------------------------------------------------------
+    def _draw_patterns(self, count: int) -> List[Dict[str, int]]:
+        startpoints = list(self.netlist.inputs) + list(self.netlist.flip_flops)
+        return [
+            {sp: self.rng.getrandbits(1) for sp in startpoints}
+            for _ in range(count)
+        ]
+
+    def _oracle_responses(
+        self, patterns: Sequence[Dict[str, int]]
+    ) -> List[Dict[str, int]]:
+        responses = []
+        for pattern in patterns:
+            pis = {pi: pattern.get(pi, 0) for pi in self.netlist.inputs}
+            state = {ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops}
+            responses.append(self.oracle.query(pis, state))
+        return responses
+
+    def _consistent(
+        self,
+        working: Netlist,
+        comb: CombinationalSimulator,
+        hypothesis: Dict[str, int],
+        patterns: Sequence[Dict[str, int]],
+        responses: Sequence[Dict[str, int]],
+    ) -> bool:
+        for name, config in hypothesis.items():
+            working.node(name).lut_config = config
+        try:
+            points = self.oracle.observation_points()
+            for pattern, expected in zip(patterns, responses):
+                pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
+                state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
+                values = comb.evaluate(pis, state, 1)
+                for point in points:
+                    if values[point] != expected[point]:
+                        return False
+            return True
+        finally:
+            for name in hypothesis:
+                working.node(name).lut_config = None

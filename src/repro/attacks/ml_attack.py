@@ -1,0 +1,178 @@
+"""Machine-learning-style attack: stochastic local search over LUT keys.
+
+Section IV-A.3 of the paper: "a hybrid STT-CMOS circuit may undergo machine
+learning attacks similar to [11] ... With incorporating these measures, the
+machine learning attack would render ineffective to determine the missing
+gates in any reasonable time as the size of the search space is
+significantly large."
+
+This adversary learns the configurations from oracle-labelled patterns by
+simulated annealing over the joint key space: propose a single-row flip (or
+a candidate-gate jump), keep it if agreement with the oracle's responses
+improves, occasionally accept regressions to escape local optima.  Its
+success probability decays with the key-bit count, so it quantifies the
+paper's search-space-expansion argument on circuits far beyond brute-force
+reach — while the SAT attack (which needs scan) is fenced off.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..netlist.netlist import Netlist
+from ..sim.logicsim import CombinationalSimulator
+from .brute_force import candidate_configs
+from .oracle import ConfiguredOracle
+
+
+@dataclass
+class MlAttackResult:
+    """Outcome of the annealing search."""
+
+    key: Optional[Dict[str, int]] = None  # best key found (None if hopeless)
+    best_agreement: float = 0.0  # fraction of labelled bits matched
+    exact: bool = False  # True when agreement hit 1.0
+    iterations: int = 0
+    restarts: int = 0
+    oracle_queries: int = 0
+    test_clocks: int = 0
+    key_bits: int = 0
+
+    @property
+    def success(self) -> bool:
+        return self.exact
+
+
+class MlAttack:
+    """Simulated-annealing key recovery against a configured oracle."""
+
+    def __init__(
+        self,
+        foundry_netlist: Netlist,
+        oracle: ConfiguredOracle,
+        seed: int = 0,
+        training_patterns: int = 96,
+        iterations_per_restart: int = 2_000,
+        restarts: int = 4,
+        initial_temperature: float = 2.0,
+    ):
+        self.netlist = foundry_netlist
+        self.oracle = oracle
+        self.rng = random.Random(seed)
+        self.training_patterns = training_patterns
+        self.iterations_per_restart = iterations_per_restart
+        self.restarts = restarts
+        self.initial_temperature = initial_temperature
+
+    def run(self) -> MlAttackResult:
+        result = MlAttackResult()
+        luts = [
+            name
+            for name in self.netlist.luts
+            if self.netlist.node(name).lut_config is None
+        ]
+        if not luts:
+            result.key, result.exact, result.best_agreement = {}, True, 1.0
+            return result
+        result.key_bits = sum(
+            1 << self.netlist.node(n).n_inputs for n in luts
+        )
+
+        patterns, labels = self._collect_training_set()
+        working = self.netlist.copy(f"{self.netlist.name}_ml")
+        sim = CombinationalSimulator(working)
+        points = self.oracle.observation_points()
+        total_bits = len(patterns) * len(points)
+
+        def agreement(key: Dict[str, int]) -> float:
+            for name, config in key.items():
+                working.node(name).lut_config = config
+            matched = 0
+            for pattern, label in zip(patterns, labels):
+                pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
+                state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
+                values = sim.evaluate(pis, state, 1)
+                for point in points:
+                    if values[point] == label[point]:
+                        matched += 1
+            return matched / total_bits
+
+        best_key: Optional[Dict[str, int]] = None
+        best_score = -1.0
+        spaces = {n: candidate_configs(working.node(n).n_inputs) for n in luts}
+        for restart in range(self.restarts):
+            result.restarts = restart + 1
+            key = {n: self.rng.choice(spaces[n]) for n in luts}
+            score = agreement(key)
+            temperature = self.initial_temperature
+            for _ in range(self.iterations_per_restart):
+                result.iterations += 1
+                name = self.rng.choice(luts)
+                proposal = dict(key)
+                if self.rng.random() < 0.5:
+                    # Candidate-gate jump.
+                    proposal[name] = self.rng.choice(spaces[name])
+                else:
+                    # Single truth-table-row flip (explores beyond the
+                    # standard-gate set — complex functions included).
+                    rows = 1 << working.node(name).n_inputs
+                    proposal[name] = key[name] ^ (
+                        1 << self.rng.randrange(rows)
+                    )
+                new_score = agreement(proposal)
+                delta = new_score - score
+                if delta >= 0 or self.rng.random() < math.exp(
+                    delta * total_bits / max(temperature, 1e-9)
+                ):
+                    key, score = proposal, new_score
+                temperature *= 0.999
+                if score > best_score:
+                    best_key, best_score = dict(key), score
+                if score >= 1.0:
+                    break
+            if best_score >= 1.0:
+                break
+
+        result.key = best_key
+        result.best_agreement = best_score
+        # "Exact" means consistent with the training set; verify on fresh
+        # patterns before claiming victory.
+        if best_score >= 1.0 and best_key is not None:
+            result.exact = self._holdout_check(best_key)
+        result.oracle_queries = self.oracle.queries
+        result.test_clocks = self.oracle.test_clocks
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect_training_set(self):
+        startpoints = list(self.netlist.inputs) + list(self.netlist.flip_flops)
+        patterns = [
+            {sp: self.rng.getrandbits(1) for sp in startpoints}
+            for _ in range(self.training_patterns)
+        ]
+        labels = []
+        for pattern in patterns:
+            pis = {pi: pattern.get(pi, 0) for pi in self.netlist.inputs}
+            state = {ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops}
+            labels.append(self.oracle.query(pis, state))
+        return patterns, labels
+
+    def _holdout_check(self, key: Dict[str, int], patterns: int = 64) -> bool:
+        working = self.netlist.copy(f"{self.netlist.name}_holdout")
+        for name, config in key.items():
+            working.node(name).lut_config = config
+        sim = CombinationalSimulator(working)
+        points = self.oracle.observation_points()
+        startpoints = list(working.inputs) + list(working.flip_flops)
+        for _ in range(patterns):
+            pattern = {sp: self.rng.getrandbits(1) for sp in startpoints}
+            pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
+            state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
+            expected = self.oracle.query(pis, state)
+            values = sim.evaluate(pis, state, 1)
+            if any(values[p] != expected[p] for p in points):
+                return False
+        return True

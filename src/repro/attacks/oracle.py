@@ -1,0 +1,110 @@
+"""The attacker's oracle: a configured (provisioned) chip bought on the
+open market.
+
+Every attack in this package interacts with the design only through
+:class:`ConfiguredOracle`, which simulates the programmed hybrid netlist and
+counts queries — the quantity the paper's Eq. 1–3 bound.  Two access models
+are provided:
+
+* **scan access** (``scan=True``): the attacker controls/observes flip-flop
+  state directly, so one query = one test clock.  This is the strong threat
+  model of the de-camouflaging work the paper cites as [11].
+* **functional access only** (``scan=False``): state is reachable only
+  through reset + input sequences; each query costs ``depth`` clocks, which
+  is why D (flip-flops between a missing gate and an output) multiplies the
+  pattern counts in Eq. 1–3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist.graph import sequential_depth
+from ..netlist.netlist import Netlist, NetlistError
+from ..sim.logicsim import CombinationalSimulator
+from ..sim.seqsim import SequentialSimulator
+
+
+class OracleAccessError(RuntimeError):
+    """Raised when an attack uses access the oracle was not granted."""
+
+
+class ConfiguredOracle:
+    """Query-counting simulation of the provisioned chip."""
+
+    def __init__(self, programmed: Netlist, scan: bool = True):
+        for name in programmed.luts:
+            if programmed.node(name).lut_config is None:
+                raise NetlistError(
+                    f"oracle requires a programmed netlist; LUT {name!r} "
+                    "has no configuration"
+                )
+        self.netlist = programmed
+        self.scan = scan
+        self.queries = 0
+        self.test_clocks = 0
+        self._depth = max(sequential_depth(programmed), 1)
+        self._comb = CombinationalSimulator(programmed)
+
+    # ------------------------------------------------------------------
+    # scan-mode access
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        inputs: Mapping[str, int],
+        state: Optional[Mapping[str, int]] = None,
+        width: int = 1,
+    ) -> Dict[str, int]:
+        """One combinational query: apply PI values (and, with scan access,
+        a flip-flop state); observe primary outputs and next-state.
+
+        Returns ``{net: word}`` for POs and DFF D-pins.  Counts ``width``
+        queries; without scan access each costs ``depth`` clocks.
+        """
+        if state and not self.scan:
+            raise OracleAccessError(
+                "scan chains are disabled on this part; state cannot be set"
+            )
+        values = self._comb.evaluate(inputs, state, width)
+        self.queries += width
+        self.test_clocks += width * (1 if self.scan else self._depth)
+        result = {po: values[po] for po in self.netlist.outputs}
+        for ff in self.netlist.flip_flops:
+            d_pin = self.netlist.node(ff).fanin[0]
+            result[d_pin] = values[d_pin]
+        return result
+
+    def observation_points(self) -> List[str]:
+        """Nets the attacker can observe per query (POs; plus next-state
+        with scan access)."""
+        points = list(self.netlist.outputs)
+        if self.scan:
+            for ff in self.netlist.flip_flops:
+                points.append(self.netlist.node(ff).fanin[0])
+        return points
+
+    # ------------------------------------------------------------------
+    # functional-mode access
+    # ------------------------------------------------------------------
+    def run_sequence(
+        self,
+        input_sequence: Sequence[Mapping[str, int]],
+        width: int = 1,
+    ) -> List[Dict[str, int]]:
+        """Reset the chip and clock an input sequence; observe POs only."""
+        sim = SequentialSimulator(self.netlist, width=width)
+        trace = []
+        for inputs in input_sequence:
+            values = sim.step(inputs)
+            trace.append({po: values[po] for po in self.netlist.outputs})
+        self.queries += len(input_sequence) * width
+        self.test_clocks += len(input_sequence) * width
+        return trace
+
+    def reset_counters(self) -> None:
+        self.queries = 0
+        self.test_clocks = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth

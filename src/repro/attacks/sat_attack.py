@@ -1,0 +1,221 @@
+"""Oracle-guided SAT attack (the de-camouflaging adversary, paper ref [11]).
+
+The strongest known adaptive attack on logic locking/camouflaging
+(Subramanyan-style, and the formulation behind "IC decamouflaging: reverse
+engineering camouflaged ICs within minutes"): encode two copies of the
+locked circuit with *independent* key variables but *shared* inputs, assert
+that their outputs differ, and ask a SAT solver for a **distinguishing
+input** (DI) — a pattern on which two still-plausible keys disagree.  Query
+the oracle on the DI and constrain both key hypotheses to reproduce the
+observed output.  When no DI exists, every key consistent with the
+accumulated I/O constraints is functionally correct; extract one.
+
+The LUT key space is exactly the paper's countermeasure surface: a k-input
+STT LUT contributes 2^k key bits, and unlike camouflaged cells it is *not*
+limited to a handful of candidate functions — which is why the iteration
+count grows with the paper's measures (wide LUTs, decoys, dependent chains).
+
+The attack assumes scan access (state controllable/observable), the threat
+model the paper explicitly argues is closed by disabling scan; running it
+here quantifies how much security that assumption is carrying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.netlist import Netlist
+from ..sat.cnf import Cnf
+from ..sat.solver import Solver
+from ..sat.tseitin import CircuitEncoder
+from .oracle import ConfiguredOracle
+
+
+@dataclass
+class SatAttackResult:
+    """Outcome of the oracle-guided SAT attack."""
+
+    key: Optional[Dict[str, int]] = None  # lut name -> config
+    iterations: int = 0
+    oracle_queries: int = 0
+    test_clocks: int = 0
+    solver_conflicts: int = 0
+    gave_up: bool = False
+
+    @property
+    def success(self) -> bool:
+        return self.key is not None
+
+
+class SatAttack:
+    """Iterative distinguishing-input refinement with a CDCL solver."""
+
+    def __init__(
+        self,
+        foundry_netlist: Netlist,
+        oracle: ConfiguredOracle,
+        max_iterations: int = 256,
+    ):
+        if not oracle.scan:
+            raise ValueError(
+                "the SAT attack requires scan access; construct the oracle "
+                "with scan=True (and see the module docstring for why)"
+            )
+        self.netlist = foundry_netlist
+        self.oracle = oracle
+        self.max_iterations = max_iterations
+
+    def run(self) -> SatAttackResult:
+        result = SatAttackResult()
+        startpoints = list(self.netlist.inputs) + list(self.netlist.flip_flops)
+        observation = self._observation_pairs()
+
+        encoder = CircuitEncoder(Cnf())
+        # Two *independent* key hypotheses over shared inputs: a satisfying
+        # assignment is a distinguishing input — a pattern on which two
+        # still-plausible configurations disagree.
+        keys_a: Dict[Tuple[str, int], int] = {}
+        keys_b: Dict[Tuple[str, int], int] = {}
+        enc_a = encoder.encode(self.netlist, prefix="A.", key_vars=keys_a)
+        shared_inputs = {name: enc_a.net_vars[name] for name in startpoints}
+        enc_b = encoder.encode(
+            self.netlist,
+            prefix="B.",
+            input_vars=shared_inputs,
+            key_vars=keys_b,
+        )
+        cnf = encoder.cnf
+        # Miter: at least one observation point differs between the copies.
+        diff_lits: List[int] = []
+        for point in observation:
+            a_var, b_var = enc_a.net_vars[point], enc_b.net_vars[point]
+            d = cnf.new_var()
+            cnf.add_clause([-d, a_var, b_var])
+            cnf.add_clause([-d, -a_var, -b_var])
+            cnf.add_clause([d, -a_var, b_var])
+            cnf.add_clause([d, a_var, -b_var])
+            diff_lits.append(d)
+        cnf.add_clause(diff_lits)
+
+        solver = Solver()
+        solver.add_cnf(cnf)
+        self._clause_cursor = len(cnf.clauses)
+        di_constraints: List[Tuple[Dict[str, int], Dict[str, int]]] = []
+
+        while result.iterations < self.max_iterations:
+            if not solver.solve():
+                break  # no distinguishing input remains
+            result.iterations += 1
+            model = solver.model()
+            pattern = {
+                name: int(model.get(var, False))
+                for name, var in shared_inputs.items()
+            }
+            pis = {pi: pattern.get(pi, 0) for pi in self.netlist.inputs}
+            state = {ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops}
+            observed = self.oracle.query(pis, state)
+            response = {point: observed[point] for point in observation}
+            di_constraints.append((pattern, response))
+            # Pin each key hypothesis to the oracle's response on this DI
+            # via one fresh functional copy per key set.
+            self._add_io_constraint(solver, encoder, keys_a, pattern, response)
+            self._add_io_constraint(solver, encoder, keys_b, pattern, response)
+        else:
+            result.gave_up = True
+            result.oracle_queries = self.oracle.queries
+            result.test_clocks = self.oracle.test_clocks
+            return result
+
+        result.key = self._extract_key(di_constraints)
+        result.oracle_queries = self.oracle.queries
+        result.test_clocks = self.oracle.test_clocks
+        result.solver_conflicts = solver.stats["conflicts"]
+        return result
+
+    # ------------------------------------------------------------------
+    def _observation_pairs(self) -> List[str]:
+        points: List[str] = []
+        seen = set()
+        for po in self.netlist.outputs:
+            if po not in seen:
+                points.append(po)
+                seen.add(po)
+        for ff in self.netlist.flip_flops:
+            d_pin = self.netlist.node(ff).fanin[0]
+            if d_pin not in seen:
+                points.append(d_pin)
+                seen.add(d_pin)
+        return points
+
+    def _add_io_constraint(
+        self,
+        solver: Solver,
+        encoder: CircuitEncoder,
+        shared_keys: Dict[Tuple[str, int], int],
+        pattern: Dict[str, int],
+        response: Dict[str, int],
+    ) -> None:
+        """Encode a fresh functional copy constrained to (pattern, response),
+        with the same shared key variables."""
+        copy_enc = encoder.encode(
+            self.netlist,
+            prefix=f"C{len(encoder.cnf.clauses)}.",
+            key_vars=shared_keys,
+        )
+        for clause in encoder.cnf.clauses[self._clause_cursor:]:
+            solver.add_clause(clause)
+        self._clause_cursor = len(encoder.cnf.clauses)
+        for name, value in pattern.items():
+            var = copy_enc.net_vars[name]
+            solver.add_clause([var if value else -var])
+        for point, value in response.items():
+            var = copy_enc.net_vars[point]
+            solver.add_clause([var if value else -var])
+
+    def _extract_key(
+        self,
+        di_constraints: List[Tuple[Dict[str, int], Dict[str, int]]],
+    ) -> Dict[str, int]:
+        """Solve a single functional copy under all accumulated I/O
+        constraints; read the key bits off the model."""
+        encoder = CircuitEncoder(Cnf())
+        keys: Dict[Tuple[str, int], int] = {}
+        solver = Solver()
+        for index, (pattern, response) in enumerate(di_constraints or [({}, {})]):
+            enc = encoder.encode(self.netlist, prefix=f"K{index}.", key_vars=keys)
+            for name, value in pattern.items():
+                var = enc.net_vars[name]
+                encoder.cnf.add_clause([var if value else -var])
+            for point, value in response.items():
+                var = enc.net_vars[point]
+                encoder.cnf.add_clause([var if value else -var])
+        solver.add_cnf(encoder.cnf)
+        if not solver.solve():  # pragma: no cover - cannot happen with a real oracle
+            raise RuntimeError("oracle responses are inconsistent")
+        model = solver.model()
+        key: Dict[str, int] = {}
+        for (lut, row), var in keys.items():
+            if model.get(var, False):
+                key[lut] = key.get(lut, 0) | (1 << row)
+            else:
+                key.setdefault(lut, 0)
+        return key
+
+
+def verify_key(
+    foundry_netlist: Netlist,
+    key: Dict[str, int],
+    reference: Netlist,
+) -> bool:
+    """Program *key* into the foundry netlist and check combinational
+    equivalence against the reference (the provisioned chip)."""
+    from ..sat.equivalence import check_equivalence
+
+    candidate = foundry_netlist.copy(f"{foundry_netlist.name}_candidate")
+    for name, config in key.items():
+        candidate.node(name).lut_config = config
+    for name in candidate.luts:
+        if candidate.node(name).lut_config is None:
+            return False
+    return bool(check_equivalence(candidate, reference))

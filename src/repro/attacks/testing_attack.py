@@ -1,0 +1,200 @@
+"""The testing-technique attack of Section IV-A.1.
+
+"Using the circuit netlist with reconfigurable units and an available
+configured counterpart, an attacker can use a testing technique to justify
+and propagate the output of missing gates to some observation points.  With
+this effort, the attacker can develop a partial or complete truth table for
+each missing gate and then guess the functionality of those missing gates."
+
+The attack resolves one missing gate at a time, which is exactly why it
+works against *independent* selection and fails against *dependent*
+selection: justifying a LUT's input row requires knowing the logic that
+drives it, and in dependent selection that logic is itself missing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist.gates import GateType, truth_table_to_type
+from ..netlist.netlist import Netlist
+from ..sim.justify import justify_and_propagate
+from ..sim.logicsim import CombinationalSimulator
+from .oracle import ConfiguredOracle
+
+
+@dataclass
+class TestingAttackResult:
+    """Outcome of the truth-table-building attack."""
+
+    resolved: Dict[str, int] = field(default_factory=dict)
+    unresolved: List[str] = field(default_factory=list)
+    partial_rows: Dict[str, int] = field(default_factory=dict)  # rows learned
+    oracle_queries: int = 0
+    test_clocks: int = 0
+
+    @property
+    def success(self) -> bool:
+        return not self.unresolved
+
+    def recovered_types(self) -> Dict[str, Optional[GateType]]:
+        """Human-readable view: the gate type each resolved config matches."""
+        return {
+            name: truth_table_to_type(config, rows.bit_length() - 1)
+            for name, (config, rows) in (
+                (n, (c, 1 << 8)) for n, c in self.resolved.items()
+            )
+        }
+
+
+class TestingAttack:
+    """Per-LUT justify/propagate truth-table recovery."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(
+        self,
+        foundry_netlist: Netlist,
+        oracle: ConfiguredOracle,
+        seed: int = 0,
+        attempts_per_row: int = 48,
+    ):
+        self.netlist = foundry_netlist
+        self.oracle = oracle
+        self.rng = random.Random(seed)
+        self.attempts_per_row = attempts_per_row
+
+    def run(self, targets: Optional[List[str]] = None) -> TestingAttackResult:
+        """Attack every (or the given) missing gate.
+
+        The attacker hypothesises LUT functions as it goes: LUTs already
+        resolved are programmed into its working copy; still-unknown LUTs
+        make justification fail (their output is X), which is the dependency
+        the dependent selection exploits.  Unknown LUTs are retried until a
+        full pass makes no progress.
+        """
+        result = TestingAttackResult()
+        working = self.netlist.copy(f"{self.netlist.name}_attack")
+        remaining: List[str] = list(targets or working.luts)
+        remaining = [
+            name for name in remaining if working.node(name).lut_config is None
+        ]
+        progress = True
+        while progress and remaining:
+            progress = False
+            still: List[str] = []
+            for name in remaining:
+                config = self._resolve_one(working, name, result)
+                if config is None:
+                    still.append(name)
+                else:
+                    working.node(name).lut_config = config
+                    result.resolved[name] = config
+                    progress = True
+            remaining = still
+        result.unresolved = remaining
+        result.oracle_queries = self.oracle.queries
+        result.test_clocks = self.oracle.test_clocks
+        return result
+
+    # ------------------------------------------------------------------
+    def _resolve_one(
+        self,
+        working: Netlist,
+        name: str,
+        result: TestingAttackResult,
+    ) -> Optional[int]:
+        """Build the full truth table of one LUT, or None if blocked."""
+        node = working.node(name)
+        rows = 1 << node.n_inputs
+        config = 0
+        learned = 0
+        comb = CombinationalSimulator(working)
+        for row in range(rows):
+            objectives = {
+                src: (row >> pin) & 1 for pin, src in enumerate(node.fanin)
+            }
+            if len(objectives) < node.n_inputs:
+                # Duplicate fan-in nets: some rows are unreachable; they are
+                # don't-cares and stay 0.
+                consistent = all(
+                    objectives[src] == (row >> pin) & 1
+                    for pin, src in enumerate(node.fanin)
+                )
+                if not consistent:
+                    continue
+            pattern = self._justify_row(working, name, objectives)
+            if pattern is None:
+                continue
+            bit = self._deduce_output(working, comb, name, pattern)
+            if bit is None:
+                continue
+            config |= bit << row
+            learned += 1
+        result.partial_rows[name] = learned
+        if learned == rows or (learned == self._reachable_rows(node) and learned > 0):
+            return config
+        return None
+
+    def _reachable_rows(self, node) -> int:
+        distinct = len(set(node.fanin))
+        if distinct == node.n_inputs:
+            return 1 << node.n_inputs
+        return 1 << distinct
+
+    def _justify_row(
+        self,
+        working: Netlist,
+        name: str,
+        objectives: Dict[str, int],
+    ) -> Optional[Dict[str, int]]:
+        # Inputs that are themselves driven by unknown logic cannot be
+        # justified; justify() treats unknown LUT outputs as X and fails.
+        # Other unknown LUTs on the observation route are pinned to 0 for
+        # the sensitization check — a heuristic the deduction step verifies
+        # against the oracle before trusting.
+        unknown = {
+            lut: 0
+            for lut in working.luts
+            if working.node(lut).lut_config is None and lut != name
+        }
+        return justify_and_propagate(
+            working,
+            target=name,
+            input_row=objectives,
+            rng=self.rng,
+            attempts=max(1, self.attempts_per_row // 16),
+            assumed=unknown,
+        )
+
+    def _deduce_output(
+        self,
+        working: Netlist,
+        comb: CombinationalSimulator,
+        name: str,
+        pattern: Dict[str, int],
+    ) -> Optional[int]:
+        """Compare the oracle's response with the 0/1 hypotheses for *name*."""
+        pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
+        state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
+        # Hypothesis simulation needs every other unknown LUT pinned; an X
+        # elsewhere that reaches the observation point would confound the
+        # measurement.  Pin unknowns to 0 — justify() already ensured the
+        # target is observable under this pattern *given current knowledge*.
+        unknown = {
+            lut: 0
+            for lut in working.luts
+            if working.node(lut).lut_config is None and lut != name
+        }
+        low = comb.evaluate(pis, state, 1, overrides={**unknown, name: 0})
+        high = comb.evaluate(pis, state, 1, overrides={**unknown, name: 1})
+        observed = self.oracle.query(pis, state)
+        for point in self.oracle.observation_points():
+            if low[point] != high[point]:
+                if observed[point] == low[point]:
+                    return 0
+                if observed[point] == high[point]:
+                    return 1
+        return None

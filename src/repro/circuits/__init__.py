@@ -1,0 +1,35 @@
+"""Benchmark circuits: embedded ISCAS'89 s27 and the synthetic suite."""
+
+from .arithmetic import (
+    ALU_OPS,
+    alu,
+    alu_reference,
+    equality_comparator,
+    ripple_carry_adder,
+)
+from .generator import CircuitSpec, generate, generate_family
+from .iscas import (
+    PAPER_BENCHMARK_ORDER,
+    PAPER_BENCHMARKS,
+    S27_BENCH,
+    benchmark_suite,
+    load_benchmark,
+    spec,
+)
+
+__all__ = [
+    "ALU_OPS",
+    "alu",
+    "alu_reference",
+    "equality_comparator",
+    "ripple_carry_adder",
+    "CircuitSpec",
+    "generate",
+    "generate_family",
+    "PAPER_BENCHMARK_ORDER",
+    "PAPER_BENCHMARKS",
+    "S27_BENCH",
+    "benchmark_suite",
+    "load_benchmark",
+    "spec",
+]

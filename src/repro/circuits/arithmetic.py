@@ -1,0 +1,150 @@
+"""Parameterized arithmetic circuit generators.
+
+Realistic lock targets beyond the ISCAS suite: a datapath is exactly the
+kind of IP the paper's flow protects (the introduction motivates IP piracy
+of design blocks).  All generators produce plain gate-level netlists, so
+every analysis, attack, and selection algorithm applies unchanged.
+
+* :func:`ripple_carry_adder` — n-bit adder (combinational).
+* :func:`equality_comparator` — n-bit A==B.
+* :func:`alu` — n-bit 2-op ALU (ADD / AND / OR / XOR) with registered
+  output, giving the sequential structure the selection algorithms need.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+
+
+def _full_adder(n: Netlist, prefix: str, a: str, b: str, cin: str) -> "tuple[str, str]":
+    """Add a full adder; returns (sum, carry_out) net names."""
+    axb = f"{prefix}_axb"
+    n.add_gate(axb, GateType.XOR, [a, b])
+    s = f"{prefix}_s"
+    n.add_gate(s, GateType.XOR, [axb, cin])
+    t1 = f"{prefix}_t1"
+    n.add_gate(t1, GateType.AND, [a, b])
+    t2 = f"{prefix}_t2"
+    n.add_gate(t2, GateType.AND, [axb, cin])
+    cout = f"{prefix}_c"
+    n.add_gate(cout, GateType.OR, [t1, t2])
+    return s, cout
+
+
+def ripple_carry_adder(width: int = 8, name: str = "") -> Netlist:
+    """An n-bit ripple-carry adder: S = A + B + Cin, with carry out."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    n = Netlist(name or f"rca{width}")
+    for i in range(width):
+        n.add_input(f"a{i}")
+        n.add_input(f"b{i}")
+    n.add_input("cin")
+    carry = "cin"
+    for i in range(width):
+        s, carry = _full_adder(n, f"fa{i}", f"a{i}", f"b{i}", carry)
+        n.add_output(s)
+    n.add_output(carry)
+    n.validate()
+    return n
+
+
+def equality_comparator(width: int = 8, name: str = "") -> Netlist:
+    """An n-bit A==B comparator (XNOR-reduce tree)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    n = Netlist(name or f"eq{width}")
+    bits: List[str] = []
+    for i in range(width):
+        n.add_input(f"a{i}")
+        n.add_input(f"b{i}")
+        x = f"x{i}"
+        n.add_gate(x, GateType.XNOR, [f"a{i}", f"b{i}"])
+        bits.append(x)
+    level = bits
+    idx = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for j in range(0, len(level) - 1, 2):
+            g = f"and{idx}"
+            idx += 1
+            n.add_gate(g, GateType.AND, [level[j], level[j + 1]])
+            nxt.append(g)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    out = level[0]
+    if out not in n.outputs:
+        n.add_output(out)
+    n.validate()
+    return n
+
+
+#: ALU opcode encoding on (op1, op0).
+ALU_OPS = ("ADD", "AND", "OR", "XOR")
+
+
+def alu(width: int = 4, name: str = "") -> Netlist:
+    """An n-bit ALU with registered result.
+
+    Inputs ``a*``, ``b*``, opcode ``op0``/``op1`` (00=ADD, 01=AND, 10=OR,
+    11=XOR); per-bit result latched into ``r*`` flip-flops whose outputs are
+    the primary outputs ``y*`` — so the design has the PI→FF→PO structure
+    the selection algorithms operate on.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    n = Netlist(name or f"alu{width}")
+    for i in range(width):
+        n.add_input(f"a{i}")
+        n.add_input(f"b{i}")
+    n.add_input("op0")
+    n.add_input("op1")
+    n.add_gate("op0_n", GateType.NOT, ["op0"])
+    n.add_gate("op1_n", GateType.NOT, ["op1"])
+    # One-hot op selects.
+    n.add_gate("sel_add", GateType.AND, ["op1_n", "op0_n"])
+    n.add_gate("sel_and", GateType.AND, ["op1_n", "op0"])
+    n.add_gate("sel_or", GateType.AND, ["op1", "op0_n"])
+    n.add_gate("sel_xor", GateType.AND, ["op1", "op0"])
+
+    carry = "sel_add_zero"
+    n.add_gate(carry, GateType.CONST0, [])
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        add_s, carry = _full_adder(n, f"fa{i}", a, b, carry)
+        n.add_gate(f"and{i}", GateType.AND, [a, b])
+        n.add_gate(f"or{i}", GateType.OR, [a, b])
+        n.add_gate(f"xor{i}", GateType.XOR, [a, b])
+        # Result mux: OR of AND(sel, value) legs.
+        n.add_gate(f"m{i}_add", GateType.AND, ["sel_add", add_s])
+        n.add_gate(f"m{i}_and", GateType.AND, ["sel_and", f"and{i}"])
+        n.add_gate(f"m{i}_or", GateType.AND, ["sel_or", f"or{i}"])
+        n.add_gate(f"m{i}_xor", GateType.AND, ["sel_xor", f"xor{i}"])
+        n.add_gate(
+            f"res{i}",
+            GateType.OR,
+            [f"m{i}_add", f"m{i}_and", f"m{i}_or", f"m{i}_xor"],
+        )
+        n.add_gate(f"r{i}", GateType.DFF, [f"res{i}"])
+        n.add_gate(f"y{i}", GateType.BUF, [f"r{i}"])
+        n.add_output(f"y{i}")
+    n.validate()
+    return n
+
+
+def alu_reference(a: int, b: int, op: int, width: int) -> int:
+    """Bit-accurate reference model of :func:`alu` (for tests/oracles)."""
+    mask = (1 << width) - 1
+    if op == 0:
+        return (a + b) & mask
+    if op == 1:
+        return a & b
+    if op == 2:
+        return a | b
+    if op == 3:
+        return (a ^ b) & mask
+    raise ValueError(f"bad opcode {op}")

@@ -1,0 +1,279 @@
+"""Deterministic synthetic ISCAS'89-class circuit generator.
+
+The original ISCAS'89 netlists are not redistributable here, so the paper's
+benchmark set is substituted with generated circuits that match each
+benchmark's published interface statistics (PI/PO/FF counts) and the paper's
+Table I "size" column (gate count excluding flip-flops) — see DESIGN.md §5.
+
+The generated structure is what the selection algorithms care about:
+
+* flip-flops arranged in *ranks* with combinational clouds between them, so
+  primary-input→primary-output paths crossing ≥ 2 flip-flops exist
+  everywhere (the property the paper's path DFS requires);
+* a last-rank→first-rank feedback bus (FSM-style), as in the real set;
+* ISCAS-like gate-type and fan-in distributions;
+* every flip-flop and primary output driven, no combinational loops,
+  deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+
+#: Gate-type mix modelled on synthesized ISCAS'89 profiles.
+_TYPE_WEIGHTS: Sequence[tuple] = (
+    (GateType.NAND, 28),
+    (GateType.NOR, 18),
+    (GateType.AND, 14),
+    (GateType.OR, 14),
+    (GateType.NOT, 14),
+    (GateType.XOR, 4),
+    (GateType.XNOR, 2),
+    (GateType.BUF, 6),
+)
+
+#: Fan-in mix for multi-input gates.
+_FANIN_WEIGHTS: Sequence[tuple] = ((2, 62), (3, 24), (4, 14))
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Target statistics for one generated circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flip_flops: int
+    n_gates: int
+    seed: int = 0
+
+    def stages(self) -> int:
+        """Number of flip-flop ranks: grows gently with the register count
+        so larger circuits have deeper sequential structure."""
+        if self.n_flip_flops < 2:
+            return max(self.n_flip_flops, 0)
+        if self.n_flip_flops <= 8:
+            return 2
+        if self.n_flip_flops <= 64:
+            return 3
+        if self.n_flip_flops <= 256:
+            return 4
+        return 5
+
+
+def _pick_type(rng: random.Random) -> GateType:
+    total = sum(w for _, w in _TYPE_WEIGHTS)
+    roll = rng.uniform(0, total)
+    acc = 0.0
+    for gate_type, weight in _TYPE_WEIGHTS:
+        acc += weight
+        if roll <= acc:
+            return gate_type
+    return GateType.NAND
+
+
+def _pick_fanin(rng: random.Random, available: int) -> int:
+    total = sum(w for _, w in _FANIN_WEIGHTS)
+    roll = rng.uniform(0, total)
+    acc = 0.0
+    for n, weight in _FANIN_WEIGHTS:
+        acc += weight
+        if roll <= acc:
+            return min(n, available)
+    return min(2, available)
+
+
+class _CloudBuilder:
+    """Builds one combinational cloud and wires its sinks."""
+
+    def __init__(self, netlist: Netlist, rng: random.Random, prefix: str):
+        self.netlist = netlist
+        self.rng = rng
+        self.prefix = prefix
+        self.counter = 0
+
+    def build(
+        self,
+        sources: List[str],
+        n_gates: int,
+        n_sinks: int,
+        max_level: int = 18,
+    ) -> List[str]:
+        """Create *n_gates* gates reading from *sources* (and each other);
+        returns *n_sinks* distinct gate nets to use as sink drivers.
+
+        Source sampling is biased towards recently created and not-yet-read
+        gates (which yields chains and few floating nets) but capped at
+        *max_level* logic levels, matching the depth of synthesized ISCAS'89
+        netlists.
+        """
+        rng = self.rng
+        signals = list(sources)
+        level = {s: 0 for s in sources}
+        created: List[str] = []
+        unread: List[str] = []
+        n_gates = max(n_gates, n_sinks, 1)
+        # Per-gate depth caps: most of the cloud stays shallow, a minority
+        # forms deep chains — giving the wide path-delay distribution of
+        # synthesized netlists (few near-critical paths, many short ones).
+        cap_choices = (3, 3, 5, 5, 8, 8, 12, max_level, max_level)
+        for _ in range(n_gates):
+            gate_type = _pick_type(rng)
+            if gate_type in (GateType.NOT, GateType.BUF):
+                arity = 1
+            else:
+                arity = _pick_fanin(rng, len(signals))
+                if arity < 2:
+                    gate_type, arity = GateType.NOT, 1
+            cap = rng.choice(cap_choices)
+            fanin: List[str] = []
+            pool_bias = rng.random()
+            for _ in range(arity):
+                src = None
+                for _attempt in range(4):
+                    if unread and pool_bias < 0.55:
+                        candidate = unread[rng.randrange(len(unread))]
+                    elif created and rng.random() < 0.5:
+                        # Recent gates: geometric bias towards the tail.
+                        idx = len(created) - 1 - min(
+                            int(rng.expovariate(0.35)), len(created) - 1
+                        )
+                        candidate = created[idx]
+                    else:
+                        candidate = signals[rng.randrange(len(signals))]
+                    if level[candidate] < cap:
+                        src = candidate
+                        break
+                if src is None:
+                    shallow = [s for s in sources if level[s] == 0]
+                    src = rng.choice(shallow) if shallow else candidate
+                if src in fanin:
+                    src = signals[rng.randrange(len(signals))]
+                if src not in fanin:
+                    fanin.append(src)
+            if not fanin:
+                fanin = [signals[rng.randrange(len(signals))]]
+            if len(fanin) == 1 and gate_type not in (GateType.NOT, GateType.BUF):
+                gate_type = GateType.NOT
+            name = f"{self.prefix}g{self.counter}"
+            self.counter += 1
+            self.netlist.add_gate(name, gate_type, fanin)
+            level[name] = 1 + max(level[s] for s in fanin)
+            for src in fanin:
+                if src in unread:
+                    unread.remove(src)
+            signals.append(name)
+            created.append(name)
+            unread.append(name)
+        # Sinks prefer unread gates (late in the cloud), then fall back.
+        sinks: List[str] = []
+        pool = [g for g in reversed(created) if g in unread]
+        pool += [g for g in reversed(created) if g not in unread]
+        for name in pool:
+            if len(sinks) == len(set(sinks)) and name not in sinks:
+                sinks.append(name)
+            if len(sinks) == n_sinks:
+                break
+        while len(sinks) < n_sinks and created:
+            sinks.append(rng.choice(created))
+        return sinks[:n_sinks]
+
+
+def generate(spec: CircuitSpec) -> Netlist:
+    """Generate a circuit matching *spec* (deterministic in ``spec.seed``)."""
+    if spec.n_inputs < 1 or spec.n_outputs < 1 or spec.n_gates < 1:
+        raise ValueError(f"degenerate spec {spec}")
+    rng = random.Random((spec.seed, spec.name).__repr__())
+    netlist = Netlist(spec.name)
+    pis = [f"I{i}" for i in range(spec.n_inputs)]
+    for pi in pis:
+        netlist.add_input(pi)
+
+    n_stages = spec.stages()
+    ranks: List[List[str]] = []
+    if n_stages:
+        base, extra = divmod(spec.n_flip_flops, n_stages)
+        ff_index = 0
+        for stage in range(n_stages):
+            count = base + (1 if stage < extra else 0)
+            ranks.append([f"FF{ff_index + i}" for i in range(count)])
+            ff_index += count
+
+    builder = _CloudBuilder(netlist, rng, prefix="")
+    n_clouds = n_stages + 1
+    # Allocate gates to clouds proportionally to their sink counts, leaving
+    # the output cloud the remainder.
+    sink_counts = [len(rank) for rank in ranks] + [spec.n_outputs]
+    total_sinks = sum(sink_counts) or 1
+    gate_alloc = [
+        max(1, int(round(spec.n_gates * count / total_sinks)))
+        for count in sink_counts
+    ]
+    # Rebalance to hit the target size exactly.
+    while sum(gate_alloc) > spec.n_gates:
+        idx = gate_alloc.index(max(gate_alloc))
+        if gate_alloc[idx] <= max(1, sink_counts[idx]):
+            break
+        gate_alloc[idx] -= 1
+    while sum(gate_alloc) < spec.n_gates:
+        gate_alloc[gate_alloc.index(min(gate_alloc))] += 1
+
+    ff_drivers: List[List[str]] = []
+    for stage in range(n_clouds):
+        sources = list(pis)
+        if stage > 0:
+            sources += ranks[stage - 1]
+        elif ranks:
+            # FSM-style feedback: the first cloud also reads the last rank.
+            sources += ranks[-1]
+        # A sprinkling of earlier ranks keeps connectivity realistic.
+        for earlier in ranks[: max(0, stage - 1)]:
+            if earlier and rng.random() < 0.5:
+                sources += rng.sample(earlier, max(1, len(earlier) // 4))
+        n_sinks = sink_counts[stage] if stage < len(sink_counts) else 0
+        drivers = builder.build(sources, gate_alloc[stage], n_sinks)
+        ff_drivers.append(drivers)
+
+    # Declare flip-flops (D pins driven by their cloud's sink gates).
+    for stage, rank in enumerate(ranks):
+        for ff, driver in zip(rank, ff_drivers[stage]):
+            netlist.add_gate(ff, GateType.DFF, [driver])
+
+    for po in ff_drivers[-1]:
+        if po not in netlist.outputs:
+            netlist.add_output(po)
+    # Duplicate sink picks can leave us short of outputs; top up with any
+    # undeclared gate nets.
+    if len(netlist.outputs) < spec.n_outputs:
+        for node in reversed(netlist.nodes()):
+            if len(netlist.outputs) == spec.n_outputs:
+                break
+            if node.is_combinational and node.name not in netlist.outputs:
+                netlist.add_output(node.name)
+
+    netlist.validate()
+    return netlist
+
+
+def generate_family(
+    base: CircuitSpec, seeds: Sequence[int]
+) -> List[Netlist]:
+    """Same spec, several seeds — for variance studies."""
+    return [
+        generate(
+            CircuitSpec(
+                name=f"{base.name}_s{seed}",
+                n_inputs=base.n_inputs,
+                n_outputs=base.n_outputs,
+                n_flip_flops=base.n_flip_flops,
+                n_gates=base.n_gates,
+                seed=seed,
+            )
+        )
+        for seed in seeds
+    ]

@@ -1,0 +1,100 @@
+"""The paper's benchmark suite.
+
+``s27`` is the genuine ISCAS'89 netlist (small enough to embed and exact);
+the twelve circuits of Table I are produced by the synthetic generator with
+the paper's published sizes (gate count excluding flip-flops, Table I "size"
+column) and the standard ISCAS'89 interface statistics.  See DESIGN.md §5
+for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist import bench_io
+from ..netlist.netlist import Netlist
+from .generator import CircuitSpec, generate
+
+#: The genuine ISCAS'89 s27 benchmark.
+S27_BENCH = """\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+#: Table I circuits: name -> (PI, PO, FF, gates).  Gate counts are the
+#: paper's "size" column; interface counts are the published ISCAS'89 stats.
+PAPER_BENCHMARKS: Dict[str, tuple] = {
+    "s641": (35, 24, 19, 287),
+    "s820": (18, 19, 5, 289),
+    "s832": (18, 19, 5, 379),
+    "s953": (16, 23, 29, 395),
+    "s1196": (14, 14, 18, 508),
+    "s1238": (14, 14, 18, 529),
+    "s1488": (8, 19, 6, 657),
+    "s5378a": (35, 49, 179, 2779),
+    "s9234a": (36, 39, 211, 5597),
+    "s13207": (62, 152, 638, 7951),
+    "s15850a": (77, 150, 534, 9772),
+    "s38584": (38, 304, 1426, 19253),
+}
+
+#: Table I order, preserved for report rendering.
+PAPER_BENCHMARK_ORDER: List[str] = list(PAPER_BENCHMARKS)
+
+
+def spec(name: str, seed: int = 2016) -> CircuitSpec:
+    """The :class:`CircuitSpec` for a paper benchmark."""
+    try:
+        n_pi, n_po, n_ff, n_gates = PAPER_BENCHMARKS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{PAPER_BENCHMARK_ORDER + ['s27']}"
+        ) from exc
+    return CircuitSpec(
+        name=name,
+        n_inputs=n_pi,
+        n_outputs=n_po,
+        n_flip_flops=n_ff,
+        n_gates=n_gates,
+        seed=seed,
+    )
+
+
+def load_benchmark(name: str, seed: int = 2016) -> Netlist:
+    """Load a benchmark circuit by name (``s27`` is exact, the rest are
+    generated to the paper's statistics)."""
+    if name == "s27":
+        return bench_io.loads(S27_BENCH, "s27")
+    return generate(spec(name, seed=seed))
+
+
+def benchmark_suite(seed: int = 2016, max_gates: int = 0) -> List[Netlist]:
+    """All twelve Table I circuits, in table order.
+
+    ``max_gates`` (when non-zero) drops circuits larger than the limit —
+    handy for quick CI runs.
+    """
+    suite = []
+    for name in PAPER_BENCHMARK_ORDER:
+        if max_gates and PAPER_BENCHMARKS[name][3] > max_gates:
+            continue
+        suite.append(load_benchmark(name, seed=seed))
+    return suite

@@ -1,0 +1,297 @@
+"""Command-line interface: the security-driven design flow as a tool.
+
+    repro-lock lock s641.bench --algorithm parametric --out hybrid.bench
+    repro-lock analyze s641.bench hybrid.bench
+    repro-lock attack hybrid_foundry.bench hybrid.bench --attack sat
+    repro-lock gen s5378a --out s5378a.bench
+    repro-lock report
+
+``lock`` writes three artifacts next to ``--out``: the provisioned hybrid
+netlist, the foundry view (``*_foundry.bench``, configurations withheld),
+and the provisioning bitstream (``*.stt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.ppa import PpaAnalyzer
+from .attacks import (
+    BruteForceAttack,
+    ConfiguredOracle,
+    MlAttack,
+    SatAttack,
+    TestingAttack,
+)
+from .circuits import PAPER_BENCHMARK_ORDER, load_benchmark
+from .locking import (
+    ALGORITHMS,
+    SecurityAnalyzer,
+    SecurityDrivenFlow,
+    SecurityLevel,
+    SecurityRequirement,
+)
+from .lut import HybridMapper, bitstream
+from .netlist import bench_io
+from .reporting import format_scientific, format_table
+
+
+def _load(path_or_name: str):
+    path = Path(path_or_name)
+    if path.exists():
+        return bench_io.load(path)
+    if path_or_name in PAPER_BENCHMARK_ORDER or path_or_name == "s27":
+        return load_benchmark(path_or_name)
+    raise SystemExit(
+        f"error: {path_or_name!r} is neither a file nor a known benchmark"
+    )
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    netlist = load_benchmark(args.circuit, seed=args.seed)
+    out = Path(args.out or f"{args.circuit}.bench")
+    bench_io.dump(netlist, out)
+    print(f"wrote {out} ({netlist.stats()})")
+    return 0
+
+
+def cmd_lock(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    try:
+        algorithm_cls = ALGORITHMS[args.algorithm]
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown algorithm {args.algorithm!r}; "
+            f"choose from {sorted(ALGORITHMS)}"
+        )
+    algorithm = algorithm_cls(
+        seed=args.seed, decoy_inputs=args.decoys, absorb=args.absorb
+    )
+    result = algorithm.run(netlist)
+    out = Path(args.out or f"{netlist.name}_{args.algorithm}.bench")
+    bench_io.dump(result.hybrid, out)
+    foundry_path = out.with_name(out.stem + "_foundry.bench")
+    bench_io.dump(result.hybrid, foundry_path, include_config=False)
+    bits_path = out.with_suffix(".stt")
+    bitstream.dump(result.provisioning, bits_path)
+    print(
+        f"{args.algorithm}: replaced {result.n_stt} gates "
+        f"in {result.cpu_seconds:.2f}s"
+    )
+    print(f"  hybrid (provisioned): {out}")
+    print(f"  foundry view:         {foundry_path}")
+    print(f"  bitstream:            {bits_path}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    original = _load(args.original)
+    hybrid = _load(args.hybrid)
+    ppa = PpaAnalyzer()
+    overhead = ppa.overhead(original, hybrid, algorithm="cli")
+    security = SecurityAnalyzer().analyze(hybrid, algorithm=args.formula)
+    rows = [
+        ("performance degradation %", f"{overhead.performance_degradation_pct:.2f}"),
+        ("power overhead %", f"{overhead.power_overhead_pct:.2f}"),
+        ("area overhead %", f"{overhead.area_overhead_pct:.2f}"),
+        ("STT LUTs", overhead.n_stt),
+        ("size (gates)", overhead.size),
+        (
+            f"test clocks (Eq. {args.formula})",
+            format_scientific(security.log10_test_clocks(args.formula)),
+        ),
+        ("years @1e9 patt/s", format_cell_years(security, args.formula)),
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{hybrid.name} vs {original.name}"))
+    return 0
+
+
+def format_cell_years(security, formula: str) -> str:
+    years = security.years_to_break(formula)
+    if years == float("inf") or years > 1e300:
+        return ">1e300"
+    if years >= 1e6:
+        return format_scientific(security.log10_test_clocks(formula) - 16.5)
+    return f"{years:.3g}"
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    foundry = _load(args.foundry)
+    provisioned = _load(args.provisioned)
+    oracle = ConfiguredOracle(provisioned, scan=not args.no_scan)
+    if args.attack == "testing":
+        attack = TestingAttack(foundry, oracle, seed=args.seed)
+        result = attack.run()
+        print(
+            f"testing attack: {len(result.resolved)} resolved, "
+            f"{len(result.unresolved)} unresolved, "
+            f"{result.test_clocks} test clocks"
+        )
+        return 0 if result.success else 1
+    if args.attack == "brute":
+        attack = BruteForceAttack(foundry, oracle, seed=args.seed)
+        result = attack.run()
+        print(
+            f"brute force: tested {result.hypotheses_tested} of "
+            f"{result.hypotheses_total} hypotheses, "
+            f"{'KEY FOUND' if result.success else 'failed'}, "
+            f"{result.test_clocks} test clocks"
+        )
+        return 0 if result.success else 1
+    if args.attack == "sat":
+        attack = SatAttack(foundry, oracle)
+        result = attack.run()
+        print(
+            f"sat attack: {result.iterations} iterations, "
+            f"{'KEY FOUND' if result.success else 'gave up'}, "
+            f"{result.test_clocks} test clocks"
+        )
+        return 0 if result.success else 1
+    if args.attack == "ml":
+        attack = MlAttack(foundry, oracle, seed=args.seed)
+        result = attack.run()
+        print(
+            f"ml attack: {result.iterations} iterations over "
+            f"{result.key_bits} key bits, best agreement "
+            f"{result.best_agreement:.3f}, "
+            f"{'KEY FOUND' if result.success else 'failed'}"
+        )
+        return 0 if result.success else 1
+    raise SystemExit(f"error: unknown attack {args.attack!r}")
+
+
+def cmd_program(args: argparse.Namespace) -> int:
+    foundry = _load(args.foundry)
+    record = bitstream.load(args.bitstream)
+    mapper = HybridMapper()
+    mapper.program(foundry, record)
+    out = Path(args.out or f"{foundry.name}_provisioned.bench")
+    bench_io.dump(foundry, out)
+    energy, time_ns = mapper.program_cost(record)
+    print(
+        f"programmed {len(record)} LUTs ({record.total_bits} bits, "
+        f"{energy:.1f} pJ, {time_ns / 1000:.1f} µs serial); wrote {out}"
+    )
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    requirement = SecurityRequirement(
+        level=SecurityLevel(args.level),
+        decoy_inputs=args.decoys,
+        absorb=args.absorb,
+        disable_scan_on_release=not args.keep_scan,
+        seed=args.seed,
+    )
+    flow = SecurityDrivenFlow()
+    report = flow.run(netlist, requirement, output_dir=args.out_dir)
+    print(report.summary())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    print(
+        "Benchmark reports are generated by the pytest-benchmark harness:\n"
+        "  pytest benchmarks/ --benchmark-only -q\n"
+        "Individual tables/figures:\n"
+        "  pytest benchmarks/test_fig1_stt_vs_cmos.py --benchmark-only\n"
+        "  pytest benchmarks/test_table1_ppa_overhead.py --benchmark-only\n"
+        "  pytest benchmarks/test_table2_cpu_time.py --benchmark-only\n"
+        "  pytest benchmarks/test_fig3_test_clocks.py --benchmark-only"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lock",
+        description="Hybrid STT-CMOS logic obfuscation (DAC 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("gen", help="generate a benchmark circuit")
+    p_gen.add_argument("circuit", help="benchmark name (e.g. s641, s38584, s27)")
+    p_gen.add_argument("--out", default=None)
+    p_gen.add_argument("--seed", type=int, default=2016)
+    p_gen.set_defaults(func=cmd_gen)
+
+    p_lock = sub.add_parser("lock", help="run a selection algorithm")
+    p_lock.add_argument("circuit", help=".bench file or benchmark name")
+    p_lock.add_argument(
+        "--algorithm",
+        default="parametric",
+        choices=sorted(ALGORITHMS),
+    )
+    p_lock.add_argument("--out", default=None)
+    p_lock.add_argument("--seed", type=int, default=0)
+    p_lock.add_argument("--decoys", type=int, default=0)
+    p_lock.add_argument("--absorb", action="store_true")
+    p_lock.set_defaults(func=cmd_lock)
+
+    p_analyze = sub.add_parser("analyze", help="PPA + security of a hybrid")
+    p_analyze.add_argument("original")
+    p_analyze.add_argument("hybrid")
+    p_analyze.add_argument(
+        "--formula",
+        default="parametric",
+        choices=["independent", "dependent", "parametric"],
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_attack = sub.add_parser("attack", help="attack a foundry-view netlist")
+    p_attack.add_argument("foundry")
+    p_attack.add_argument("provisioned", help="oracle: the configured chip")
+    p_attack.add_argument(
+        "--attack", default="sat", choices=["testing", "brute", "sat", "ml"]
+    )
+    p_attack.add_argument("--seed", type=int, default=0)
+    p_attack.add_argument("--no-scan", action="store_true")
+    p_attack.set_defaults(func=cmd_attack)
+
+    p_program = sub.add_parser("program", help="provision a foundry netlist")
+    p_program.add_argument("foundry")
+    p_program.add_argument("bitstream")
+    p_program.add_argument("--out", default=None)
+    p_program.set_defaults(func=cmd_program)
+
+    p_flow = sub.add_parser(
+        "flow", help="run the full security-driven flow (Fig. 2)"
+    )
+    p_flow.add_argument("circuit", help=".bench file or benchmark name")
+    p_flow.add_argument(
+        "--level",
+        default="strong-timing-aware",
+        choices=[lvl.value for lvl in SecurityLevel],
+    )
+    p_flow.add_argument("--out-dir", default=None)
+    p_flow.add_argument("--seed", type=int, default=0)
+    p_flow.add_argument("--decoys", type=int, default=0)
+    p_flow.add_argument("--absorb", action="store_true")
+    p_flow.add_argument("--keep-scan", action="store_true")
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_report = sub.add_parser("report", help="how to regenerate the paper's tables")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — normal exit.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's core contribution: CMOS-gate selection and replacement."""
+
+from .base import SelectionAlgorithm, SelectionResult, replaceable_gates_on_paths
+from .dependent import DependentSelection
+from .independent import IndependentSelection
+from .parametric import ParametricSelection
+from .budget import (
+    BudgetPlan,
+    plan_parametric,
+    required_missing_gates,
+    years_to_clocks,
+)
+from .flow import (
+    FlowReport,
+    SecurityDrivenFlow,
+    SecurityLevel,
+    SecurityRequirement,
+)
+from .metrics import (
+    PAPER_ALPHA,
+    PAPER_P,
+    PATTERNS_PER_SECOND,
+    SecurityAnalyzer,
+    SecurityReport,
+    alpha,
+    average_similarity,
+    depth_to_output,
+    p_candidates,
+)
+
+ALGORITHMS = {
+    IndependentSelection.name: IndependentSelection,
+    DependentSelection.name: DependentSelection,
+    ParametricSelection.name: ParametricSelection,
+}
+
+__all__ = [
+    "BudgetPlan",
+    "plan_parametric",
+    "required_missing_gates",
+    "years_to_clocks",
+    "FlowReport",
+    "SecurityDrivenFlow",
+    "SecurityLevel",
+    "SecurityRequirement",
+    "SelectionAlgorithm",
+    "SelectionResult",
+    "replaceable_gates_on_paths",
+    "DependentSelection",
+    "IndependentSelection",
+    "ParametricSelection",
+    "ALGORITHMS",
+    "PAPER_ALPHA",
+    "PAPER_P",
+    "PATTERNS_PER_SECOND",
+    "SecurityAnalyzer",
+    "SecurityReport",
+    "alpha",
+    "average_similarity",
+    "depth_to_output",
+    "p_candidates",
+]

@@ -1,0 +1,50 @@
+"""Dependent selection (Section IV-A.2, Algorithm 1).
+
+Reconfigurable units are selected so they are reachable from each other: the
+algorithm obtains the longest non-critical I/O paths and replaces **all**
+gates on their composing timing paths with STT LUTs.  The resulting chains of
+missing gates force Eq. 2's multiplicative attack cost, at the price of the
+largest performance impact of the three methods (every gate of whole timing
+paths slows down by the LUT's delay factor) — exactly the trade-off Table I
+shows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..analysis.paths import IOPath
+from ..netlist.graph import combinational_gates_on
+from ..netlist.netlist import Netlist
+from .base import SelectionAlgorithm
+
+
+class DependentSelection(SelectionAlgorithm):
+    """Replace every gate on the ``n_io_paths`` deepest I/O paths."""
+
+    name = "dependent"
+
+    def __init__(self, n_io_paths: int = 1, **kwargs: object):
+        super().__init__(**kwargs)
+        self.n_io_paths = n_io_paths
+
+    def select(
+        self,
+        netlist: Netlist,
+        paths: List[IOPath],
+        rng: random.Random,
+    ) -> List[str]:
+        selected: Dict[str, None] = {}
+        # The path list arrives sorted deepest-first (the paper sorts by the
+        # number of flip-flops between primary input and primary output).
+        for path in paths[: max(self.n_io_paths, 0)]:
+            for segment in path.timing_paths(netlist):
+                for name in combinational_gates_on(netlist, segment):
+                    selected.setdefault(name, None)
+        return list(selected)
+
+    def describe_params(self) -> Dict[str, object]:
+        params = super().describe_params()
+        params["n_io_paths"] = self.n_io_paths
+        return params

@@ -1,0 +1,207 @@
+"""The security-driven hybrid STT-CMOS design flow (paper Fig. 2) as an
+orchestrated, checkable pipeline.
+
+"Along with the design constraints and the target CMOS technology node, the
+design security requirements and the STT technology library information are
+passed to the standard VLSI design flow. ... Depending on the design
+security requirements, one of our proposed algorithms ... is chosen by the
+designer."
+
+:class:`SecurityRequirement` captures the designer's intent;
+:class:`SecurityDrivenFlow` picks the algorithm, runs selection and
+replacement, verifies functional equivalence (sign-off), evaluates PPA and
+security, and emits the three hand-off artifacts (hybrid netlist, foundry
+view, provisioning bitstream) plus a flow report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..analysis.ppa import OverheadReport, PpaAnalyzer
+from ..lut import bitstream
+from ..netlist import bench_io, verilog_io
+from ..netlist.netlist import Netlist, NetlistError
+from ..netlist.scan import disable_scan, has_scan_chain
+from ..netlist.simplify import sweep
+from ..sim.seqsim import functional_match
+from ..techlib.cells import TechLibrary, cmos_90nm
+from ..techlib.stt import SttLibrary, stt_mtj_32nm
+from .base import SelectionResult
+from .dependent import DependentSelection
+from .independent import IndependentSelection
+from .metrics import SecurityAnalyzer, SecurityReport
+from .parametric import ParametricSelection
+
+
+class SecurityLevel(enum.Enum):
+    """The designer's security requirement, mapped onto the algorithms.
+
+    * ``BASIC`` — deter casual reverse engineering; independent selection
+      (5 missing gates, minimal cost).
+    * ``STRONG`` — resist the testing attack; dependent selection (chained
+      missing gates, Eq. 2 cost), accepting the delay impact.
+    * ``STRONG_TIMING_AWARE`` — Eq. 3-class security within the timing
+      budget; parametric-aware dependent selection.
+    """
+
+    BASIC = "basic"
+    STRONG = "strong"
+    STRONG_TIMING_AWARE = "strong-timing-aware"
+
+
+@dataclass(frozen=True)
+class SecurityRequirement:
+    """Inputs to the flow beyond the netlist itself."""
+
+    level: SecurityLevel = SecurityLevel.STRONG_TIMING_AWARE
+    timing_margin: float = 0.08
+    decoy_inputs: int = 0
+    absorb: bool = False
+    min_missing_gates: int = 1
+    disable_scan_on_release: bool = True
+    seed: int = 0
+
+
+@dataclass
+class FlowReport:
+    """Everything the flow measured and produced."""
+
+    circuit: str
+    level: SecurityLevel
+    selection: SelectionResult
+    overhead: OverheadReport
+    security: SecurityReport
+    equivalence_verified: bool
+    scan_disabled: bool
+    artifacts: Dict[str, Path] = field(default_factory=dict)
+
+    @property
+    def n_stt(self) -> int:
+        return self.selection.n_stt
+
+    def summary(self) -> str:
+        lines = [
+            f"security-driven flow report — {self.circuit}",
+            f"  level:        {self.level.value}",
+            f"  algorithm:    {self.selection.algorithm}",
+            f"  missing gates: {self.n_stt}",
+            f"  delay +{self.overhead.performance_degradation_pct:.2f}%  "
+            f"power +{self.overhead.power_overhead_pct:.2f}%  "
+            f"area +{self.overhead.area_overhead_pct:.2f}%",
+            f"  attack cost:  1e{self.security.log10_test_clocks():.1f} test clocks",
+            f"  sign-off:     equivalence "
+            f"{'VERIFIED' if self.equivalence_verified else 'FAILED'}",
+            f"  scan:         {'disabled for release' if self.scan_disabled else 'left as-is'}",
+        ]
+        for name, path in self.artifacts.items():
+            lines.append(f"  {name}: {path}")
+        return "\n".join(lines)
+
+
+class SecurityDrivenFlow:
+    """Fig. 2, end to end: selection → replacement → verification → PPA &
+    security evaluation → artifact hand-off."""
+
+    def __init__(
+        self,
+        tech: Optional[TechLibrary] = None,
+        stt: Optional[SttLibrary] = None,
+    ):
+        self.tech = tech or cmos_90nm()
+        self.stt = stt or stt_mtj_32nm()
+        self.ppa = PpaAnalyzer(self.tech, self.stt)
+        self.security = SecurityAnalyzer()
+
+    # ------------------------------------------------------------------
+    def choose_algorithm(self, requirement: SecurityRequirement):
+        common = dict(
+            tech=self.tech,
+            stt=self.stt,
+            seed=requirement.seed,
+            decoy_inputs=requirement.decoy_inputs,
+            absorb=requirement.absorb,
+        )
+        if requirement.level is SecurityLevel.BASIC:
+            return IndependentSelection(**common)
+        if requirement.level is SecurityLevel.STRONG:
+            return DependentSelection(**common)
+        return ParametricSelection(
+            timing_margin=requirement.timing_margin, **common
+        )
+
+    def run(
+        self,
+        netlist: Netlist,
+        requirement: Optional[SecurityRequirement] = None,
+        output_dir: Optional[Union[str, Path]] = None,
+    ) -> FlowReport:
+        """Execute the flow; optionally write artifacts to *output_dir*.
+
+        Raises :class:`NetlistError` if the hybrid fails sign-off
+        verification or the security requirement's minimum missing-gate
+        count cannot be met.
+        """
+        requirement = requirement or SecurityRequirement()
+        algorithm = self.choose_algorithm(requirement)
+        result = algorithm.run(netlist)
+        if result.n_stt < requirement.min_missing_gates:
+            raise NetlistError(
+                f"selection produced {result.n_stt} missing gates; the "
+                f"requirement demands ≥ {requirement.min_missing_gates}"
+            )
+
+        # Sign-off: the provisioned hybrid must implement the design.
+        verified = functional_match(netlist, result.hybrid, cycles=16, width=64)
+        if not verified:
+            raise NetlistError(
+                "hybrid netlist failed functional sign-off — aborting flow"
+            )
+
+        overhead = self.ppa.overhead(netlist, result.hybrid, result.algorithm)
+        security = self.security.analyze(result.hybrid, result.algorithm)
+
+        scan_disabled = False
+        release = result.hybrid
+        if requirement.disable_scan_on_release and has_scan_chain(release):
+            disable_scan(release)
+            # Incremental clean-up: the tied-off scan muxes fold away, so the
+            # release netlist pays no area for the disabled test logic.
+            sweep(release)
+            scan_disabled = True
+
+        report = FlowReport(
+            circuit=netlist.name,
+            level=requirement.level,
+            selection=result,
+            overhead=overhead,
+            security=security,
+            equivalence_verified=verified,
+            scan_disabled=scan_disabled,
+        )
+        if output_dir is not None:
+            report.artifacts = self._emit(result, Path(output_dir))
+        return report
+
+    # ------------------------------------------------------------------
+    def _emit(self, result: SelectionResult, outdir: Path) -> Dict[str, Path]:
+        outdir.mkdir(parents=True, exist_ok=True)
+        stem = result.hybrid.name
+        artifacts = {
+            "hybrid_bench": outdir / f"{stem}.bench",
+            "foundry_bench": outdir / f"{stem}_foundry.bench",
+            "foundry_verilog": outdir / f"{stem}_foundry.v",
+            "bitstream": outdir / f"{stem}.stt",
+        }
+        bench_io.dump(result.hybrid, artifacts["hybrid_bench"])
+        bench_io.dump(
+            result.hybrid, artifacts["foundry_bench"], include_config=False
+        )
+        verilog_io.dump(
+            result.hybrid, artifacts["foundry_verilog"], include_config=False
+        )
+        bitstream.dump(result.provisioning, artifacts["bitstream"])
+        return artifacts

@@ -1,0 +1,49 @@
+"""Independent selection (Section IV-A.1).
+
+Gates are selected at random with no required connectivity between them:
+"For independent selection, we select a pre-determined number of nodes for
+STT out of all nodes on the chosen paths."  The paper fixes the count at 5
+("For the independent selection, we always randomly select 5 gates for
+replacement"), which is this class's default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..analysis.paths import IOPath
+from ..netlist.netlist import Netlist
+from .base import SelectionAlgorithm, replaceable_gates_on_paths
+
+
+class IndependentSelection(SelectionAlgorithm):
+    """Randomly pick ``n_gates`` gates from the sampled I/O paths."""
+
+    name = "independent"
+
+    def __init__(self, n_gates: int = 5, **kwargs: object):
+        super().__init__(**kwargs)
+        self.n_gates = n_gates
+
+    def select(
+        self,
+        netlist: Netlist,
+        paths: List[IOPath],
+        rng: random.Random,
+    ) -> List[str]:
+        pool = replaceable_gates_on_paths(netlist, paths)
+        if len(pool) < 4 * self.n_gates:
+            # Small pools would stack several LUTs on one timing path and
+            # needlessly hurt timing; gates are "randomly selected" anyway
+            # (Section IV-A.1), so widen the pool with the rest of the design.
+            extras = [g for g in netlist.gates if g not in set(pool)]
+            rng.shuffle(extras)
+            pool = pool + extras
+        count = min(self.n_gates, len(pool))
+        return rng.sample(pool, count)
+
+    def describe_params(self) -> Dict[str, object]:
+        params = super().describe_params()
+        params["n_gates"] = self.n_gates
+        return params

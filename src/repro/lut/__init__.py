@@ -1,0 +1,38 @@
+"""STT LUT cells: configuration words, gate→LUT mapping, bitstreams."""
+
+from .lutcell import (
+    LutConfigError,
+    config_from_gate,
+    config_mask,
+    config_rows,
+    depends_on_pin,
+    expanded_candidate_space,
+    hamming_distance,
+    meaningful_configs,
+    permute_pins,
+    restrict_pin,
+    support,
+    validate_config,
+    widen_config,
+)
+from .mapping import HybridMapper, ProvisioningRecord
+from . import bitstream
+
+__all__ = [
+    "LutConfigError",
+    "config_from_gate",
+    "config_mask",
+    "config_rows",
+    "depends_on_pin",
+    "expanded_candidate_space",
+    "hamming_distance",
+    "meaningful_configs",
+    "permute_pins",
+    "restrict_pin",
+    "support",
+    "validate_config",
+    "widen_config",
+    "HybridMapper",
+    "ProvisioningRecord",
+    "bitstream",
+]

@@ -1,0 +1,112 @@
+"""Configuration bitstream serialisation.
+
+The non-volatility argument of the paper (Section II) is that the STT LUT
+holds its own configuration — no external flash image exists to steal.  The
+bitstream here therefore only ever lives with the *design house*: it is the
+provisioning artifact carried to the secure programming station.
+
+Format (little-endian):
+
+    magic  "STT1"           4 bytes
+    name   length-prefixed  2 + n bytes (UTF-8 circuit name)
+    count  uint32           number of LUT entries
+    entry  repeated:
+        name   length-prefixed (2 + n)
+        pins   uint8
+        config ceil(2**pins / 8) bytes
+    crc32  uint32           over everything above
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from .mapping import ProvisioningRecord
+
+_MAGIC = b"STT1"
+
+
+class BitstreamError(ValueError):
+    """Raised on malformed or corrupted bitstream data."""
+
+
+def _pack_name(name: str) -> bytes:
+    data = name.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise BitstreamError(f"name too long: {name[:32]!r}…")
+    return struct.pack("<H", len(data)) + data
+
+
+def _unpack_name(buf: bytes, offset: int) -> "tuple[str, int]":
+    if offset + 2 > len(buf):
+        raise BitstreamError("truncated name length")
+    (length,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    if offset + length > len(buf):
+        raise BitstreamError("truncated name")
+    return buf[offset : offset + length].decode("utf-8"), offset + length
+
+
+def dumps(record: ProvisioningRecord) -> bytes:
+    """Serialise a provisioning record."""
+    out = bytearray()
+    out += _MAGIC
+    out += _pack_name(record.circuit)
+    out += struct.pack("<I", len(record.configs))
+    for name in sorted(record.configs):
+        config = record.configs[name]
+        pins = record.pin_counts[name]
+        n_bytes = (1 << pins) + 7 >> 3
+        if config < 0 or config >= (1 << (1 << pins)):
+            raise BitstreamError(
+                f"config of {name!r} does not fit {pins} pins"
+            )
+        out += _pack_name(name)
+        out += struct.pack("<B", pins)
+        out += config.to_bytes(n_bytes, "little")
+    out += struct.pack("<I", zlib.crc32(bytes(out)))
+    return bytes(out)
+
+
+def loads(data: bytes) -> ProvisioningRecord:
+    """Parse and checksum-verify a provisioning bitstream."""
+    if len(data) < 4 + 4:
+        raise BitstreamError("bitstream too short")
+    body, (crc,) = data[:-4], struct.unpack("<I", data[-4:])
+    if zlib.crc32(body) != crc:
+        raise BitstreamError("checksum mismatch (corrupted bitstream)")
+    if body[:4] != _MAGIC:
+        raise BitstreamError(f"bad magic {body[:4]!r}")
+    circuit, offset = _unpack_name(body, 4)
+    if offset + 4 > len(body):
+        raise BitstreamError("truncated entry count")
+    (count,) = struct.unpack_from("<I", body, offset)
+    offset += 4
+    record = ProvisioningRecord(circuit=circuit)
+    for _ in range(count):
+        name, offset = _unpack_name(body, offset)
+        if offset + 1 > len(body):
+            raise BitstreamError(f"truncated pin count for {name!r}")
+        pins = body[offset]
+        offset += 1
+        n_bytes = (1 << pins) + 7 >> 3
+        if offset + n_bytes > len(body):
+            raise BitstreamError(f"truncated config for {name!r}")
+        config = int.from_bytes(body[offset : offset + n_bytes], "little")
+        offset += n_bytes
+        record.configs[name] = config
+        record.pin_counts[name] = pins
+    if offset != len(body):
+        raise BitstreamError(f"{len(body) - offset} trailing bytes")
+    return record
+
+
+def dump(record: ProvisioningRecord, path: Union[str, Path]) -> None:
+    Path(path).write_bytes(dumps(record))
+
+
+def load(path: Union[str, Path]) -> ProvisioningRecord:
+    return loads(Path(path).read_bytes())

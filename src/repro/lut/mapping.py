@@ -1,0 +1,148 @@
+"""Gate→LUT mapping and the paper's hardening transformations.
+
+:class:`HybridMapper` performs the mechanical part of the *CMOS gate
+selection and replacement* stage: it turns selected gates into STT LUTs,
+optionally applies the search-space-expansion measures of Section IV-A.3
+(decoy inputs, complex-function absorption), and keeps the provisioning
+record — the (lut name → configuration) map the design house will program
+after fabrication.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..netlist.netlist import Netlist, NetlistError
+from ..netlist.transform import (
+    absorb_fanin_gate,
+    replace_gates_with_luts,
+    widen_lut_with_decoys,
+)
+from ..techlib.stt import SttLibrary, stt_mtj_32nm
+
+
+@dataclass
+class ProvisioningRecord:
+    """The secret the design house holds: LUT configurations by name."""
+
+    circuit: str
+    configs: Dict[str, int] = field(default_factory=dict)
+    pin_counts: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(1 << k for k in self.pin_counts.values())
+
+
+class HybridMapper:
+    """Replaces gates with STT LUTs and manages the provisioning secret."""
+
+    def __init__(
+        self,
+        stt: Optional[SttLibrary] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.stt = stt or stt_mtj_32nm()
+        self.rng = rng or random.Random(0)
+
+    def replace(
+        self,
+        netlist: Netlist,
+        names: Iterable[str],
+        decoy_inputs: int = 0,
+        absorb: bool = False,
+    ) -> List[str]:
+        """Replace *names* with programmed LUTs, in place.
+
+        ``decoy_inputs`` widens each LUT by up to that many functionally
+        ignored pins (bounded by the STT library's widest cell);
+        ``absorb`` folds single-fanout driving gates into the LUT where the
+        width budget allows, creating complex-function LUTs.
+        Returns the LUT names created (skips already-LUT nodes).
+        """
+        max_k = self.stt.max_inputs
+        replaced = replace_gates_with_luts(netlist, names, program=True)
+        if absorb:
+            for name in replaced:
+                self._absorb_where_possible(netlist, name, max_k)
+        if decoy_inputs > 0:
+            for name in replaced:
+                node = netlist.node(name)
+                budget = min(decoy_inputs, max_k - node.n_inputs)
+                if budget > 0:
+                    try:
+                        widen_lut_with_decoys(netlist, name, budget, self.rng)
+                    except NetlistError:
+                        continue  # not enough loop-free candidates nearby
+        return replaced
+
+    def _absorb_where_possible(
+        self, netlist: Netlist, name: str, max_k: int
+    ) -> None:
+        changed = True
+        while changed:
+            changed = False
+            node = netlist.node(name)
+            for pin, src in enumerate(node.fanin):
+                src_node = netlist.node(src)
+                if not src_node.is_combinational or src_node.is_lut:
+                    continue
+                if netlist.fanout(src) != [name] or src in netlist.outputs:
+                    continue
+                if node.fanin.count(src) != 1:
+                    continue
+                if node.n_inputs - 1 + src_node.n_inputs > max_k:
+                    continue
+                absorb_fanin_gate(netlist, name, pin)
+                changed = True
+                break
+
+    def extract_provisioning(self, netlist: Netlist) -> ProvisioningRecord:
+        """Collect the configurations of every programmed LUT."""
+        record = ProvisioningRecord(circuit=netlist.name)
+        for name in netlist.luts:
+            node = netlist.node(name)
+            if node.lut_config is None:
+                raise NetlistError(f"LUT {name!r} is not programmed")
+            record.configs[name] = node.lut_config
+            record.pin_counts[name] = node.n_inputs
+        return record
+
+    def strip_configs(self, netlist: Netlist) -> Netlist:
+        """The foundry view: a copy with every LUT configuration withheld."""
+        foundry = netlist.copy(f"{netlist.name}_foundry")
+        for name in foundry.luts:
+            foundry.node(name).lut_config = None
+        return foundry
+
+    def program(
+        self, netlist: Netlist, record: ProvisioningRecord
+    ) -> Netlist:
+        """Provision a fabricated (foundry-view) netlist: program every LUT
+        from *record*, in place, and return the netlist."""
+        for name in netlist.luts:
+            node = netlist.node(name)
+            if name not in record.configs:
+                raise NetlistError(f"no provisioning data for LUT {name!r}")
+            if record.pin_counts.get(name, node.n_inputs) != node.n_inputs:
+                raise NetlistError(
+                    f"provisioning width mismatch on LUT {name!r}"
+                )
+            node.lut_config = record.configs[name]
+        return netlist
+
+    def program_cost(self, record: ProvisioningRecord) -> "tuple[float, float]":
+        """(energy in pJ, serial time in ns) to program a whole record —
+        the write-cost side of the STT trade-off."""
+        energy = 0.0
+        time_ns = 0.0
+        for name, k in record.pin_counts.items():
+            cell = self.stt.lut(k)
+            energy += cell.program_energy_pj()
+            time_ns += cell.program_time_ns()
+        return energy, time_ns

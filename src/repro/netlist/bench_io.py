@@ -1,0 +1,139 @@
+"""Reader/writer for the ISCAS'89 ``.bench`` netlist format.
+
+The format the paper's benchmarks ship in::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+
+Extension: LUT nodes are written as ``name = LUT(0xCAFE; a, b, c)`` when
+programmed and ``name = LUT(?; a, b, c)`` when the configuration is withheld
+(the netlist an untrusted foundry would receive).  Plain ISCAS'89 files
+round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import List, Union
+
+from .gates import GateType, parse_gate_type
+from .netlist import Netlist, NetlistError
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z0-9_]+)\s*\((.*)\)$")
+
+
+def loads(text: str, name: str = "top") -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`."""
+    netlist = Netlist(name)
+    pending_outputs: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, net = decl.group(1).upper(), decl.group(2)
+            try:
+                if keyword == "INPUT":
+                    netlist.add_input(net)
+                else:
+                    pending_outputs.append(net)
+            except NetlistError as exc:
+                raise BenchFormatError(lineno, str(exc)) from exc
+            continue
+        gate = _GATE_RE.match(line)
+        if not gate:
+            raise BenchFormatError(lineno, f"unrecognised statement {line!r}")
+        net, type_word, arg_text = gate.group(1), gate.group(2), gate.group(3)
+        try:
+            gate_type = parse_gate_type(type_word)
+        except ValueError as exc:
+            raise BenchFormatError(lineno, str(exc)) from exc
+        lut_config = None
+        if gate_type is GateType.LUT:
+            if ";" not in arg_text:
+                raise BenchFormatError(
+                    lineno, "LUT statement needs 'config; pins' argument form"
+                )
+            config_text, arg_text = (part.strip() for part in arg_text.split(";", 1))
+            if config_text != "?":
+                try:
+                    lut_config = int(config_text, 0)
+                except ValueError as exc:
+                    raise BenchFormatError(
+                        lineno, f"bad LUT config {config_text!r}"
+                    ) from exc
+        fanin = [a.strip() for a in arg_text.split(",") if a.strip()]
+        try:
+            netlist.add_gate(net, gate_type, fanin, lut_config=lut_config)
+        except (NetlistError, ValueError) as exc:
+            raise BenchFormatError(lineno, str(exc)) from exc
+    for net in pending_outputs:
+        netlist.add_output(net)
+    netlist.validate()
+    return netlist
+
+
+def load(path: Union[str, Path], name: str = "") -> Netlist:
+    """Read a ``.bench`` file; the netlist name defaults to the file stem."""
+    path = Path(path)
+    return loads(path.read_text(), name or path.stem)
+
+
+def dumps(netlist: Netlist, include_config: bool = True) -> str:
+    """Serialise a netlist to ``.bench`` text.
+
+    With ``include_config=False`` every LUT configuration is replaced by
+    ``?`` — this produces the *foundry view* of a hybrid netlist, in which
+    the missing-gate functions are withheld.
+    """
+    buf = io.StringIO()
+    stats = netlist.stats()
+    buf.write(f"# {netlist.name}\n")
+    buf.write(
+        f"# {stats.n_inputs} inputs, {stats.n_outputs} outputs, "
+        f"{stats.n_flip_flops} D-type flip-flops, {stats.n_gates} gates "
+        f"({stats.n_luts} LUTs)\n"
+    )
+    for pi in netlist.inputs:
+        buf.write(f"INPUT({pi})\n")
+    for po in netlist.outputs:
+        buf.write(f"OUTPUT({po})\n")
+    for node in netlist:
+        if node.is_input:
+            continue
+        if node.gate_type is GateType.LUT:
+            if include_config and node.lut_config is not None:
+                config = f"0x{node.lut_config:X}"
+            else:
+                config = "?"
+            pins = ", ".join(node.fanin)
+            buf.write(f"{node.name} = LUT({config}; {pins})\n")
+        else:
+            pins = ", ".join(node.fanin)
+            buf.write(f"{node.name} = {node.gate_type.value}({pins})\n")
+    return buf.getvalue()
+
+
+def dump(
+    netlist: Netlist,
+    path: Union[str, Path],
+    include_config: bool = True,
+) -> None:
+    """Write a netlist to a ``.bench`` file (see :func:`dumps`)."""
+    Path(path).write_text(dumps(netlist, include_config=include_config))

@@ -1,0 +1,420 @@
+"""Graph analysis over netlists.
+
+Two views of the same netlist matter to the paper's algorithms:
+
+* the **combinational view**, in which DFFs are cut (Q pins become timing
+  startpoints, D pins endpoints) — used by STA and levelized simulation;
+* the **sequential view**, in which DFFs are pass-through nodes — used to
+  find primary-input→primary-output *I/O paths* and to count the flip-flops
+  a path crosses (the paper's circuit depth ``D``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .netlist import Netlist, NetlistError
+
+
+class CombinationalLoopError(NetlistError):
+    """Raised when the combinational view of a netlist contains a cycle."""
+
+
+def to_networkx(netlist: Netlist, cut_flip_flops: bool = False) -> nx.DiGraph:
+    """Build a :class:`networkx.DiGraph` of the netlist.
+
+    Edges run driver → reader.  With ``cut_flip_flops=True`` the edges into
+    DFF D-pins are dropped, yielding the acyclic combinational view.
+    """
+    graph = nx.DiGraph(name=netlist.name)
+    for node in netlist:
+        graph.add_node(node.name, gate_type=node.gate_type)
+    for node in netlist:
+        if cut_flip_flops and node.is_sequential:
+            continue
+        for src in node.fanin:
+            graph.add_edge(src, node.name)
+    return graph
+
+
+def topological_order(netlist: Netlist) -> List[str]:
+    """Topological order of the combinational view (Kahn's algorithm).
+
+    INPUT and DFF nodes (the startpoints) come first.  Raises
+    :class:`CombinationalLoopError` if combinational logic forms a cycle.
+    """
+    indegree: Dict[str, int] = {}
+    for node in netlist:
+        if node.is_input or node.is_sequential:
+            indegree[node.name] = 0
+        else:
+            # Unique drivers only: a net read on two pins is one edge.
+            indegree[node.name] = len(set(node.fanin))
+    ready = deque(name for name, deg in indegree.items() if deg == 0)
+    order: List[str] = []
+    while ready:
+        name = ready.popleft()
+        order.append(name)
+        for reader in netlist.fanout(name):
+            reader_node = netlist.node(reader)
+            if reader_node.is_sequential:
+                continue
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+    if len(order) != len(netlist):
+        stuck = sorted(name for name, deg in indegree.items() if deg > 0)
+        raise CombinationalLoopError(
+            f"combinational loop involving nets: {stuck[:10]}"
+        )
+    return order
+
+
+def levelize(netlist: Netlist) -> Dict[str, int]:
+    """Logic level of every net: startpoints are level 0, gates are
+    ``1 + max(level of fan-in)``."""
+    levels: Dict[str, int] = {}
+    for name in topological_order(netlist):
+        node = netlist.node(name)
+        if node.is_input or node.is_sequential:
+            levels[name] = 0
+        else:
+            levels[name] = 1 + max((levels[s] for s in node.fanin), default=0)
+    return levels
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """Maximum combinational logic level in the design."""
+    levels = levelize(netlist)
+    return max(levels.values(), default=0)
+
+
+def sequential_depth(netlist: Netlist) -> int:
+    """The paper's circuit depth ``D``: the maximum number of flip-flops on
+    any simple path from a primary input to a primary output.
+
+    Computed as a longest-path problem over the *stage DAG*: contract each
+    maximal combinational region between sequential elements and count DFF
+    crossings.  Cyclic FF-to-FF feedback (common in controllers) is handled
+    by bounding the count at the number of flip-flops.
+    """
+    ff_depths = flip_flop_depths(netlist)
+    best = 0
+    for po in netlist.outputs:
+        best = max(best, ff_depths.get(po, 0))
+    return best
+
+
+#: Saturation point for flip-flop-depth relaxation.  Simple paths can cross
+#: at most every register once, but chasing that bound costs O(|FF|·|V|) and
+#: depths beyond a few dozen add nothing to the security metrics (they only
+#: scale the already-astronomical clock counts linearly), so relaxation
+#: saturates here.
+MAX_TRACKED_FF_DEPTH = 32
+
+
+def flip_flop_depths(netlist: Netlist) -> Dict[str, int]:
+    """For every net, the maximum number of DFFs on an acyclic path from a
+    primary input to that net (DFF output counts the DFF itself).
+
+    Uses iterative relaxation over the sequential view; values (and hence
+    iteration count) saturate at :data:`MAX_TRACKED_FF_DEPTH`.
+    """
+    cap = max(min(len(netlist.flip_flops), MAX_TRACKED_FF_DEPTH), 1)
+    depth: Dict[str, int] = {name: 0 for name in netlist.node_names()}
+    changed = True
+    iterations = 0
+    while changed and iterations <= cap + 1:
+        changed = False
+        iterations += 1
+        for node in netlist:
+            if node.is_input:
+                continue
+            bump = 1 if node.is_sequential else 0
+            new = 0
+            for src in node.fanin:
+                new = max(new, depth.get(src, 0) + bump)
+            new = min(new, cap)
+            if new > depth[node.name]:
+                depth[node.name] = new
+                changed = True
+    return depth
+
+
+def transitive_fanin(netlist: Netlist, roots: Iterable[str]) -> Set[str]:
+    """All nets reachable backwards from *roots* (crossing flip-flops),
+    including the roots."""
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(netlist.node(name).fanin)
+    return seen
+
+
+def transitive_fanout(netlist: Netlist, roots: Iterable[str]) -> Set[str]:
+    """All nets reachable forwards from *roots* (crossing flip-flops),
+    including the roots."""
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(netlist.fanout(name))
+    return seen
+
+
+def combinational_cone(netlist: Netlist, sinks: Iterable[str]) -> Set[str]:
+    """Backwards cone of *sinks* stopping at (and including) startpoints."""
+    seen: Set[str] = set()
+    stack = list(sinks)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = netlist.node(name)
+        if node.is_input or node.is_sequential:
+            continue
+        stack.extend(node.fanin)
+    return seen
+
+
+def reachable_between(netlist: Netlist, source: str, sink: str) -> bool:
+    """True if *sink* is in the transitive fan-out of *source*."""
+    return sink in transitive_fanout(netlist, [source])
+
+
+class PathGuide:
+    """Precomputed BFS distances that steer the path DFS.
+
+    ``to_startpoint[n]`` is the minimum number of combinational hops from a
+    startpoint (PI or DFF output) to net *n* going forwards;
+    ``to_endpoint[n]`` the minimum hops from *n* to an endpoint (PO or DFF
+    D-pin).  The DFS prefers small distances, so the timing segments of the
+    discovered I/O paths stay near-shortest — which is what makes the deep
+    register paths of the paper *non-critical*.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.to_startpoint = self._bfs_from_startpoints()
+        self.to_endpoint = self._bfs_to_endpoints()
+
+    def _bfs_from_startpoints(self) -> Dict[str, int]:
+        dist: Dict[str, int] = {}
+        frontier = deque()
+        for node in self.netlist:
+            if node.is_input or node.is_sequential:
+                dist[node.name] = 0
+                frontier.append(node.name)
+        while frontier:
+            name = frontier.popleft()
+            for reader in self.netlist.fanout(name):
+                reader_node = self.netlist.node(reader)
+                if reader_node.is_sequential:
+                    continue
+                if reader not in dist:
+                    dist[reader] = dist[name] + 1
+                    frontier.append(reader)
+        return dist
+
+    def _bfs_to_endpoints(self) -> Dict[str, int]:
+        dist: Dict[str, int] = {}
+        frontier = deque()
+        output_set = set(self.netlist.outputs)
+        for node in self.netlist:
+            feeds_ff = any(
+                self.netlist.node(r).is_sequential
+                for r in self.netlist.fanout(node.name)
+            )
+            if node.name in output_set or feeds_ff:
+                dist[node.name] = 0
+                frontier.append(node.name)
+        while frontier:
+            name = frontier.popleft()
+            for src in self.netlist.node(name).fanin:
+                if self.netlist.node(name).is_sequential:
+                    continue
+                if src not in dist:
+                    dist[src] = dist[name] + 1
+                    frontier.append(src)
+        return dist
+
+
+def find_io_path(
+    netlist: Netlist,
+    through: str,
+    min_flip_flops: int = 2,
+    rng=None,
+    max_steps: int = 50_000,
+    max_flip_flops: int = 10,
+    guide: Optional[PathGuide] = None,
+) -> Optional[List[str]]:
+    """Find one simple PI→PO path through net *through* crossing at least
+    *min_flip_flops* DFFs (Section IV-A: "perform a depth-first search in the
+    graph to find the path to a primary input and a primary output of the
+    circuit containing at least two flip-flops").
+
+    Returns the path as a list of net names (PI first, PO last) or ``None``.
+    A backwards DFS finds a PI→through prefix and a forwards DFS a
+    through→PO suffix; flip-flops crossed on either side count towards the
+    requirement and saturate at *max_flip_flops* (register feedback would
+    otherwise let paths wind through arbitrarily many registers).  *rng*
+    shuffles neighbour order so repeated calls sample different paths; a
+    :class:`PathGuide` keeps segments short (see its docstring).
+    """
+    # Hunt for *deep* paths (the paper sorts by depth and its algorithms
+    # consume the deepest): aim for the cap, settle for what the structure
+    # offers, and reject only below the minimum.
+    reachable_ffs = min(max_flip_flops, len(netlist.flip_flops))
+    backward = _dfs_to_boundary(
+        netlist,
+        through,
+        forwards=False,
+        rng=rng,
+        max_steps=max_steps,
+        want_ffs=max(reachable_ffs // 2, min_flip_flops),
+        max_ffs=max_flip_flops,
+        guide=guide,
+    )
+    if backward is None:
+        return None
+    prefix, prefix_ffs = backward
+    forward = _dfs_to_boundary(
+        netlist,
+        through,
+        forwards=True,
+        rng=rng,
+        max_steps=max_steps,
+        avoid=set(prefix[:-1]),
+        want_ffs=max(reachable_ffs - prefix_ffs, min_flip_flops - prefix_ffs),
+        max_ffs=max(max_flip_flops - prefix_ffs, 0),
+        guide=guide,
+    )
+    if forward is None:
+        return None
+    suffix, suffix_ffs = forward
+    if prefix_ffs + suffix_ffs < min_flip_flops:
+        return None
+    return prefix[:-1] + suffix
+
+
+def _dfs_to_boundary(
+    netlist: Netlist,
+    start: str,
+    forwards: bool,
+    rng=None,
+    max_steps: int = 50_000,
+    avoid: Optional[Set[str]] = None,
+    want_ffs: int = 0,
+    max_ffs: int = 10,
+    guide: Optional[PathGuide] = None,
+) -> Optional[Tuple[List[str], int]]:
+    """DFS from *start* to a primary output (forwards) or primary input
+    (backwards), preferring flip-flop crossings and short segments.
+
+    Returns ``(path, n_ffs)``; the path is ordered PI→…→PO direction in both
+    modes (i.e. reversed for the backwards search), and includes *start*.
+    """
+    avoid = avoid or set()
+    best: Optional[Tuple[List[str], int]] = None
+    steps = 0
+    distances = None
+    if guide is not None:
+        distances = guide.to_endpoint if forwards else guide.to_startpoint
+
+    def neighbours(name: str, budget_left: bool) -> List[str]:
+        if forwards:
+            nxt = netlist.fanout(name)
+        else:
+            nxt = list(netlist.node(name).fanin)
+        if rng is not None:
+            rng.shuffle(nxt)
+        # The DFS stack pops from the end, so sort ascending in preference:
+        # best candidates last.  Prefer flip-flops (register-deep paths with
+        # short combinational segments) while the FF budget lasts, then nets
+        # close to the boundary per the guide.
+        def rank(n: str) -> Tuple[int, int]:
+            node = netlist.node(n)
+            ff_rank = 1 if (node.is_sequential and budget_left) else 0
+            closeness = 0
+            if distances is not None:
+                closeness = -distances.get(n, 1 << 20)
+            return (ff_rank, closeness)
+
+        nxt.sort(key=rank)
+        return nxt
+
+    def at_boundary(name: str) -> bool:
+        if forwards:
+            return name in netlist.outputs
+        return netlist.node(name).is_input
+
+    stack: List[Tuple[str, List[str], Set[str], int]] = [
+        (start, [start], {start}, 0)
+    ]
+    while stack:
+        name, path, on_path, n_ffs = stack.pop()
+        steps += 1
+        if steps > max_steps:
+            break
+        if at_boundary(name):
+            candidate = (path, n_ffs)
+            if best is None or n_ffs > best[1]:
+                best = candidate
+            if n_ffs >= want_ffs:
+                break
+            continue
+        budget_left = n_ffs < max_ffs
+        for nxt in neighbours(name, budget_left):
+            if nxt in on_path or nxt in avoid:
+                continue
+            bump = 1 if netlist.node(nxt).is_sequential else 0
+            if bump and not budget_left:
+                continue
+            stack.append((nxt, path + [nxt], on_path | {nxt}, n_ffs + bump))
+    if best is None:
+        return None
+    path, n_ffs = best
+    if not forwards:
+        path = list(reversed(path))
+    return path, n_ffs
+
+
+def split_into_timing_paths(netlist: Netlist, io_path: Sequence[str]) -> List[List[str]]:
+    """Split an I/O path into its composing *timing paths* — the maximal
+    segments between timing startpoints/endpoints (PIs, DFFs, POs).
+
+    Each returned segment is a list of net names whose interior members are
+    combinational gates; segment boundaries (PI/DFF endpoints) are included
+    so callers can identify launch/capture points.
+    """
+    segments: List[List[str]] = []
+    current: List[str] = []
+    for name in io_path:
+        node = netlist.node(name)
+        current.append(name)
+        if node.is_sequential and len(current) > 1:
+            segments.append(current)
+            current = [name]
+    if len(current) > 1:
+        segments.append(current)
+    return segments
+
+
+def combinational_gates_on(netlist: Netlist, path: Sequence[str]) -> List[str]:
+    """The combinational gate/LUT nets on a path (endpoints filtered out)."""
+    return [
+        name
+        for name in path
+        if netlist.node(name).is_combinational
+    ]

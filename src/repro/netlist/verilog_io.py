@@ -1,0 +1,182 @@
+"""Structural Verilog writer (and a minimal reader) for hybrid netlists.
+
+The security-driven flow of Fig. 2 hands the hybrid netlist to physical
+design; structural Verilog is the interchange format that step expects.
+LUTs are emitted as ``STT_LUTk`` cell instances with the configuration in a
+``defparam``-style comment (omitted in the foundry view), so the layout
+tools see a generic programmable cell with no function information.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .gates import GateType, parse_gate_type
+from .netlist import Netlist, NetlistError
+
+_PRIMITIVES = {
+    GateType.BUF: "buf",
+    GateType.NOT: "not",
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Escape a net name that is not a plain Verilog identifier."""
+    if _IDENT_RE.match(name):
+        return name
+    return f"\\{name} "
+
+
+def dumps(netlist: Netlist, include_config: bool = True) -> str:
+    """Serialise a netlist as structural Verilog-2001.
+
+    DFFs become ``DFF`` cell instances (Q, D, CK) with an implicit global
+    clock net ``clk``; LUTs become ``STT_LUTk`` instances.  With
+    ``include_config=False`` LUT configurations are withheld (foundry view).
+    """
+    buf = io.StringIO()
+    ports = ["clk"] + netlist.inputs + netlist.outputs
+    buf.write(f"module {_escape(netlist.name)} (\n")
+    buf.write(",\n".join(f"    {_escape(p)}" for p in ports))
+    buf.write("\n);\n")
+    buf.write("  input clk;\n")
+    for pi in netlist.inputs:
+        buf.write(f"  input {_escape(pi)};\n")
+    for po in netlist.outputs:
+        buf.write(f"  output {_escape(po)};\n")
+    interface = set(netlist.inputs) | set(netlist.outputs)
+    for node in netlist:
+        if node.name not in interface:
+            buf.write(f"  wire {_escape(node.name)};\n")
+    buf.write("\n")
+    for index, node in enumerate(netlist):
+        if node.is_input:
+            continue
+        inst = f"U{index}"
+        pins = ", ".join(_escape(p) for p in [node.name] + node.fanin)
+        if node.is_sequential:
+            buf.write(
+                f"  DFF {inst} (.Q({_escape(node.name)}), "
+                f".D({_escape(node.fanin[0])}), .CK(clk));\n"
+            )
+        elif node.gate_type in (GateType.CONST0, GateType.CONST1):
+            cell = "TIE0" if node.gate_type is GateType.CONST0 else "TIE1"
+            buf.write(f"  {cell} {inst} (.O({_escape(node.name)}));\n")
+        elif node.gate_type is GateType.LUT:
+            cell = f"STT_LUT{node.n_inputs}"
+            pin_text = ", ".join(
+                f".I{i}({_escape(src)})" for i, src in enumerate(node.fanin)
+            )
+            config = ""
+            if include_config and node.lut_config is not None:
+                config = f"  // config = {1 << node.n_inputs}'h{node.lut_config:X}"
+            buf.write(
+                f"  {cell} {inst} (.O({_escape(node.name)}), {pin_text});{config}\n"
+            )
+        else:
+            prim = _PRIMITIVES.get(node.gate_type)
+            if prim is None:
+                raise NetlistError(
+                    f"no Verilog primitive for {node.gate_type.value} "
+                    f"node {node.name!r}"
+                )
+            buf.write(f"  {prim} {inst} ({pins});\n")
+    buf.write("endmodule\n")
+    return buf.getvalue()
+
+
+def dump(netlist: Netlist, path: Union[str, Path], include_config: bool = True) -> None:
+    Path(path).write_text(dumps(netlist, include_config=include_config))
+
+
+_GATE_INST_RE = re.compile(
+    r"^\s*(buf|not|and|nand|or|nor|xor|xnor)\s+\w+\s*\(([^)]*)\)\s*;"
+)
+_DFF_INST_RE = re.compile(
+    r"^\s*DFF\s+\w+\s*\(\s*\.Q\(([^)]+)\)\s*,\s*\.D\(([^)]+)\)\s*,\s*\.CK\([^)]*\)\s*\)\s*;"
+)
+_TIE_INST_RE = re.compile(r"^\s*TIE([01])\s+\w+\s*\(\s*\.O\(([^)]+)\)\s*\)\s*;")
+_LUT_INST_RE = re.compile(
+    r"^\s*STT_LUT(\d+)\s+\w+\s*\(\s*\.O\(([^)]+)\)\s*,\s*(.*?)\)\s*;"
+    r"(?:\s*//\s*config\s*=\s*\d+'h([0-9A-Fa-f]+))?"
+)
+_PORT_RE = re.compile(r"^\s*(input|output)\s+(.+?);")
+
+
+def loads(text: str, name: str = "top") -> Netlist:
+    """Parse structural Verilog produced by :func:`dumps`.
+
+    This is a round-trip reader for our own writer's subset, not a general
+    Verilog front-end.
+    """
+    netlist = Netlist(name)
+    outputs: List[str] = []
+    gate_lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        port = _PORT_RE.match(line)
+        if port:
+            direction, nets = port.group(1), port.group(2)
+            for net in (n.strip().lstrip("\\").strip() for n in nets.split(",")):
+                if not net or net == "clk":
+                    continue
+                if direction == "input":
+                    netlist.add_input(net)
+                else:
+                    outputs.append(net)
+            continue
+        if line and not line.startswith(("module", "endmodule", "wire", "//")):
+            gate_lines.append(line)
+    for line in gate_lines:
+        tie = _TIE_INST_RE.match(line)
+        if tie:
+            value, out = tie.groups()
+            out = out.strip().lstrip("\\").strip()
+            tie_type = GateType.CONST1 if value == "1" else GateType.CONST0
+            netlist.add_gate(out, tie_type, [])
+            continue
+        dff = _DFF_INST_RE.match(line)
+        if dff:
+            q, d = (s.strip().lstrip("\\").strip() for s in dff.groups())
+            netlist.add_gate(q, GateType.DFF, [d])
+            continue
+        lut = _LUT_INST_RE.match(line)
+        if lut:
+            arity = int(lut.group(1))
+            out = lut.group(2).strip().lstrip("\\").strip()
+            pin_map: Dict[int, str] = {}
+            for pin_text in lut.group(3).split(","):
+                pin_text = pin_text.strip()
+                m = re.match(r"\.I(\d+)\(([^)]+)\)", pin_text)
+                if m:
+                    pin_map[int(m.group(1))] = m.group(2).strip().lstrip("\\").strip()
+            fanin = [pin_map[i] for i in range(arity)]
+            config = int(lut.group(4), 16) if lut.group(4) else None
+            netlist.add_gate(out, GateType.LUT, fanin, lut_config=config)
+            continue
+        gate = _GATE_INST_RE.match(line)
+        if gate:
+            prim, pin_text = gate.groups()
+            pins = [p.strip().lstrip("\\").strip() for p in pin_text.split(",")]
+            netlist.add_gate(pins[0], parse_gate_type(prim), pins[1:])
+            continue
+    for po in outputs:
+        netlist.add_output(po)
+    netlist.validate()
+    return netlist
+
+
+def load(path: Union[str, Path], name: str = "") -> Netlist:
+    path = Path(path)
+    return loads(path.read_text(), name or path.stem)

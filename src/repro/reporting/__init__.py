@@ -1,0 +1,5 @@
+"""Report rendering utilities."""
+
+from .tables import format_cell, format_mmss, format_scientific, format_table
+
+__all__ = ["format_cell", "format_mmss", "format_scientific", "format_table"]

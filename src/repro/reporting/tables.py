@@ -1,0 +1,79 @@
+"""Fixed-width table rendering for benchmark reports.
+
+The benches print Table I/II and Fig. 1/3 in the same row/column layout as
+the paper so measured values can be eyeballed against the published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    align_left_columns: int = 1,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    The first *align_left_columns* columns are left-aligned (labels), the
+    rest right-aligned (numbers).  Cells are stringified with
+    :func:`format_cell`.
+    """
+    materialised: List[List[str]] = [
+        [format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i < align_left_columns:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_cell(value: object) -> str:
+    """Stringify a table cell: floats to 2 decimals, large floats in
+    scientific notation, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.2E}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_scientific(log10_value: float) -> str:
+    """Render a log10 magnitude as ``m.mmE+eee`` (Fig. 3 style), robust to
+    values far beyond float range."""
+    exponent = int(log10_value)
+    mantissa = round(10.0 ** (log10_value - exponent), 2)
+    if mantissa >= 10.0:
+        mantissa /= 10.0
+        exponent += 1
+    return f"{mantissa:.2f}E+{exponent:d}"
+
+
+def format_mmss(seconds: float) -> str:
+    """Render seconds as the paper's Table II ``MM:SS.s`` format."""
+    minutes = int(seconds // 60)
+    return f"{minutes:02d}:{seconds - 60 * minutes:04.1f}"

@@ -1,0 +1,22 @@
+"""SAT substrate: CNF, a CDCL solver, circuit translation, equivalence."""
+
+from .cnf import Cnf, CnfError, at_most_one, exactly_one
+from .solver import Solver, luby, solve_cnf
+from .tseitin import CircuitEncoder, CircuitEncoding, encode_netlist
+from .equivalence import EquivalenceResult, assert_equivalent, check_equivalence
+
+__all__ = [
+    "Cnf",
+    "CnfError",
+    "at_most_one",
+    "exactly_one",
+    "Solver",
+    "luby",
+    "solve_cnf",
+    "CircuitEncoder",
+    "CircuitEncoding",
+    "encode_netlist",
+    "EquivalenceResult",
+    "assert_equivalent",
+    "check_equivalence",
+]

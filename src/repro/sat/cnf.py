@@ -1,0 +1,139 @@
+"""CNF formula container with DIMACS I/O.
+
+Literals use the DIMACS convention: variables are positive integers, a
+negative literal is the negated variable.  :class:`Cnf` tracks the variable
+budget and supports named variables so circuit translations stay readable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+
+class CnfError(ValueError):
+    """Raised on malformed clauses or DIMACS text."""
+
+
+class Cnf:
+    """A growable CNF formula."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        self._names: Dict[str, int] = {}
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable; optionally bind it to *name*."""
+        self.num_vars += 1
+        var = self.num_vars
+        if name is not None:
+            if name in self._names:
+                raise CnfError(f"variable name {name!r} already bound")
+            self._names[name] = var
+        return var
+
+    def var(self, name: str) -> int:
+        """Look up (or lazily create) the variable bound to *name*."""
+        if name not in self._names:
+            return self.new_var(name)
+        return self._names[name]
+
+    def names(self) -> Dict[str, int]:
+        return dict(self._names)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append one clause; literals must reference allocated variables."""
+        clause = list(literals)
+        if not clause:
+            # An explicit empty clause makes the formula trivially UNSAT;
+            # keep it so the solver reports correctly.
+            self.clauses.append(clause)
+            return
+        for lit in clause:
+            if lit == 0:
+                raise CnfError("literal 0 is reserved by DIMACS")
+            if abs(lit) > self.num_vars:
+                raise CnfError(
+                    f"literal {lit} references unallocated variable "
+                    f"(have {self.num_vars})"
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "Cnf") -> Dict[int, int]:
+        """Append *other*'s clauses with variables shifted; returns the
+        old-variable → new-variable map."""
+        offset = self.num_vars
+        self.num_vars += other.num_vars
+        mapping = {v: v + offset for v in range(1, other.num_vars + 1)}
+        for clause in other.clauses:
+            self.clauses.append(
+                [lit + offset if lit > 0 else lit - offset for lit in clause]
+            )
+        return mapping
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    # DIMACS
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for name, var in sorted(self._names.items()):
+            lines.append(f"c var {var} = {name}")
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "Cnf":
+        cnf: Optional[Cnf] = None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise CnfError(f"line {lineno}: bad problem line {line!r}")
+                cnf = cls(num_vars=int(parts[2]))
+                continue
+            if cnf is None:
+                raise CnfError(f"line {lineno}: clause before problem line")
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            cnf.add_clause(literals)
+        if cnf is None:
+            raise CnfError("no problem line found")
+        return cnf
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Cnf":
+        return cls.loads(Path(path).read_text())
+
+
+def exactly_one(literals: Sequence[int]) -> List[List[int]]:
+    """Clauses encoding "exactly one of *literals* is true" (pairwise)."""
+    clauses: List[List[int]] = [list(literals)]
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            clauses.append([-literals[i], -literals[j]])
+    return clauses
+
+
+def at_most_one(literals: Sequence[int]) -> List[List[int]]:
+    """Pairwise at-most-one constraint."""
+    return [
+        [-literals[i], -literals[j]]
+        for i in range(len(literals))
+        for j in range(i + 1, len(literals))
+    ]

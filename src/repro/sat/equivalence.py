@@ -1,0 +1,122 @@
+"""Miter-based combinational equivalence checking.
+
+Two netlists are combinationally equivalent when, for every assignment of
+primary inputs *and* flip-flop outputs (present state), every primary output
+and every flip-flop input (next state) agree.  For structurally-preserving
+transformations like LUT replacement this implies full sequential
+equivalence, so it is the proof obligation our locking flow discharges after
+programming the LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..netlist.netlist import Netlist, NetlistError
+from .cnf import Cnf
+from .solver import Solver
+from .tseitin import CircuitEncoder
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    counterexample: Optional[Dict[str, int]] = None
+    compared_points: int = 0
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _observation_points(netlist: Netlist) -> List[str]:
+    """POs plus DFF D-pin nets, deduplicated preserving order."""
+    points: List[str] = []
+    seen = set()
+    for po in netlist.outputs:
+        if po not in seen:
+            points.append(po)
+            seen.add(po)
+    for ff in netlist.flip_flops:
+        d_pin = netlist.node(ff).fanin[0]
+        if d_pin not in seen:
+            points.append(d_pin)
+            seen.add(d_pin)
+    return points
+
+
+def check_equivalence(left: Netlist, right: Netlist) -> EquivalenceResult:
+    """Prove or refute combinational equivalence of two netlists.
+
+    Both must expose the same primary inputs, primary outputs, and flip-flop
+    names.  All LUTs must be programmed (an unprogrammed LUT has no function
+    to compare).  Returns a counterexample assignment of startpoints on
+    inequivalence.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise NetlistError("designs differ in primary inputs")
+    if set(left.outputs) != set(right.outputs):
+        raise NetlistError("designs differ in primary outputs")
+    if set(left.flip_flops) != set(right.flip_flops):
+        raise NetlistError("designs differ in flip-flops")
+
+    encoder = CircuitEncoder(Cnf())
+    left_enc = encoder.encode(left, prefix="L.", symbolic_luts=False)
+    shared = {
+        name: left_enc.net_vars[name]
+        for name in list(left.inputs) + list(left.flip_flops)
+    }
+    right_enc = encoder.encode(
+        right, prefix="R.", input_vars=shared, symbolic_luts=False
+    )
+
+    cnf = encoder.cnf
+    diff_lits: List[int] = []
+    left_points = _observation_points(left)
+    right_points = _observation_points(right)
+    # Compare by role: POs by name; next-state by flip-flop name (the D-pin
+    # net may be named differently after retiming-style edits).
+    pairs = []
+    for po in left.outputs:
+        pairs.append((left_enc.net_vars[po], right_enc.net_vars[po]))
+    for ff in left.flip_flops:
+        l_pin = left.node(ff).fanin[0]
+        r_pin = right.node(ff).fanin[0]
+        pairs.append((left_enc.net_vars[l_pin], right_enc.net_vars[r_pin]))
+    for l_var, r_var in pairs:
+        miter = cnf.new_var()
+        cnf.add_clause([-miter, l_var, r_var])
+        cnf.add_clause([-miter, -l_var, -r_var])
+        cnf.add_clause([miter, -l_var, r_var])
+        cnf.add_clause([miter, l_var, -r_var])
+        diff_lits.append(miter)
+    cnf.add_clause(diff_lits)
+
+    solver = Solver()
+    solver.add_cnf(cnf)
+    if not solver.solve():
+        return EquivalenceResult(
+            equivalent=True, compared_points=len(pairs)
+        )
+    model = solver.model()
+    counterexample = {
+        name: int(model.get(var, False))
+        for name, var in shared.items()
+    }
+    return EquivalenceResult(
+        equivalent=False,
+        counterexample=counterexample,
+        compared_points=len(left_points) + len(right_points),
+    )
+
+
+def assert_equivalent(left: Netlist, right: Netlist) -> None:
+    """Raise :class:`NetlistError` when the designs are not equivalent."""
+    result = check_equivalence(left, right)
+    if not result.equivalent:
+        raise NetlistError(
+            f"designs {left.name!r} and {right.name!r} differ; "
+            f"counterexample: {result.counterexample}"
+        )

@@ -1,0 +1,407 @@
+"""A CDCL SAT solver.
+
+Conflict-driven clause learning with two-watched-literal propagation,
+first-UIP conflict analysis, VSIDS-style variable activities, phase saving,
+Luby restarts, and learned-clause reduction.  Written for clarity first, but
+fast enough to run oracle-guided SAT attacks on the circuit sizes the paper
+evaluates.
+
+The public interface is :class:`Solver` (incremental: clauses can be added
+between ``solve`` calls, and assumptions are supported).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …"""
+    if i < 1:
+        raise ValueError("luby is 1-based")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class _Clause:
+    """Internal clause representation (literals + learned bookkeeping)."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class Solver:
+    """Incremental CDCL SAT solver over DIMACS-style literals."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # Indexed by literal encoding: lit -> index 2*var (pos) / 2*var+1 (neg)
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._assign: List[int] = [_UNASSIGNED]  # 1-indexed by var
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._unsat = False
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a problem clause; returns False if it makes the formula
+        trivially unsatisfiable.
+
+        Clauses may be added between ``solve`` calls; any leftover search
+        state is unwound to the root level first.
+        """
+        if self._decision_level() > 0:
+            self._backtrack(0)
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology, drop
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        # Root-level assignments may already falsify literals; the two
+        # watched literals must be non-false or the clause would never be
+        # revisited by propagation.  Sort non-false literals to the front.
+        clause.sort(key=lambda lit: 1 if self._value(lit) == 0 else 0)
+        if self._value(clause[0]) == 0:
+            # Every literal is false at the root: formula is unsatisfiable.
+            self._unsat = True
+            return False
+        unit = len(clause) == 1 or self._value(clause[1]) == 0
+        if unit:
+            if self._value(clause[0]) == _UNASSIGNED:
+                # Unit under the root assignment: assign and propagate now.
+                self._enqueue(clause[0], None)
+                if self._propagate() is not None:
+                    self._unsat = True
+                    return False
+            if len(clause) == 1:
+                return True
+        record = _Clause(clause)
+        self._clauses.append(record)
+        self._watch(record)
+        return True
+
+    def add_cnf(self, cnf: Cnf) -> bool:
+        self.ensure_vars(cnf.num_vars)
+        ok = True
+        for clause in cnf.clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under *assumptions* (a partial assignment).
+
+        On SAT, :meth:`model` returns a full assignment.  The solver can be
+        reused; learned clauses persist across calls.
+        """
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        conflicts_until_restart = luby(1) * 32
+        restart_count = 1
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return False
+                if self._decision_level() <= len(assumptions):
+                    # Conflict forced purely by assumptions.
+                    self._backtrack(0)
+                    return False
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(max(backtrack_level, len(assumptions)))
+                self._record_learned(learned)
+                self._decay_activities()
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    self.stats["restarts"] += 1
+                    restart_count += 1
+                    conflicts_until_restart = luby(restart_count) * 32
+                    self._backtrack(len(assumptions))
+                if len(self._learned) > 4000 + 8 * len(self._clauses) ** 0.5:
+                    self._reduce_learned()
+                continue
+            # Assumption decisions first.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == 0:
+                    self._backtrack(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                return True
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment of the last successful solve."""
+        return {
+            var: self._assign[var] == 1
+            for var in range(1, self.num_vars + 1)
+            if self._assign[var] != _UNASSIGNED
+        }
+
+    def value(self, var: int) -> Optional[bool]:
+        v = self._assign[var]
+        return None if v == _UNASSIGNED else bool(v)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else 1 - v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _watch(self, clause: _Clause) -> None:
+        for lit in clause.literals[:2]:
+            self._watches.setdefault(-lit, []).append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats["propagations"] += 1
+            watchers = self._watches.get(lit, [])
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                lits = clause.literals
+                # Normalise: watched literals are lits[0] and lits[1]; make
+                # lits[1] the falsified one.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == 1:
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(-lits[1], []).append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(lits[0]) == 0:
+                    return clause
+                self._enqueue(lits[0], clause)
+                i += 1
+        return None
+
+    def _analyze(self, conflict: _Clause) -> "tuple[List[int], int]":
+        """First-UIP conflict analysis; returns (learned clause, level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        trail_lit = 0  # the implied literal whose reason we resolve on
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail)
+        current_level = self._decision_level()
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for q in reason.literals:
+                if q == trail_lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find next literal to resolve on.
+            while True:
+                index -= 1
+                trail_lit = self._trail[index]
+                if seen[abs(trail_lit)]:
+                    break
+            counter -= 1
+            seen[abs(trail_lit)] = False
+            if counter == 0:
+                break
+            reason = self._reason[abs(trail_lit)]
+        learned[0] = -trail_lit
+        # Backtrack level: second-highest level in the clause.
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            levels = sorted(
+                (self._level[abs(q)] for q in learned[1:]), reverse=True
+            )
+            backtrack_level = levels[0]
+        return learned, backtrack_level
+
+    def _record_learned(self, literals: List[int]) -> None:
+        self.stats["learned"] += 1
+        if len(literals) == 1:
+            self._enqueue(literals[0], None)
+            return
+        # Put a highest-level literal (other than the asserting one) second
+        # so watches behave.
+        best = max(range(1, len(literals)), key=lambda i: self._level[abs(literals[i])])
+        literals[1], literals[best] = literals[best], literals[1]
+        clause = _Clause(literals, learned=True)
+        clause.activity = self._cla_inc
+        self._learned.append(clause)
+        self._watch(clause)
+        self._enqueue(literals[0], clause)
+
+    def _backtrack(self, level: int) -> None:
+        while self._decision_level() > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._phase[var] = self._assign[var]
+                self._assign[var] = _UNASSIGNED
+                self._reason[var] = None
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_activity = 0, -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_activity:
+                best_var, best_activity = var, self._activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] == 1 else -best_var
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _reduce_learned(self) -> None:
+        """Drop the less active half of learned clauses (locked ones stay)."""
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        dropped = [
+            c
+            for c in self._learned[:keep_from]
+            if id(c) not in locked and len(c.literals) > 2
+        ]
+        kept = [c for c in self._learned[:keep_from] if c not in dropped]
+        self._learned = kept + self._learned[keep_from:]
+        dropped_ids = {id(c) for c in dropped}
+        for watchers in self._watches.values():
+            watchers[:] = [c for c in watchers if id(c) not in dropped_ids]
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """One-shot convenience: returns a model dict or None if UNSAT."""
+    solver = Solver()
+    solver.add_cnf(cnf)
+    if solver.solve(assumptions):
+        return solver.model()
+    return None

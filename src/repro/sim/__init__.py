@@ -1,0 +1,51 @@
+"""Logic simulation substrate: bit-parallel combinational/sequential
+simulation and ATPG-style justification/propagation."""
+
+from .logicsim import (
+    CombinationalSimulator,
+    exhaustive_input_words,
+    pack,
+    random_words,
+    unpack,
+)
+from .seqsim import SequentialSimulator, ToggleStats, functional_match
+from .faults import (
+    CoverageReport,
+    Fault,
+    FaultSimulator,
+    enumerate_faults,
+    fault_coverage,
+    random_pattern_coverage,
+)
+from .vcd import VcdWriter, dump_vcd
+from .justify import (
+    Implication,
+    is_observable,
+    justify,
+    justify_and_propagate,
+    random_observable_pattern,
+)
+
+__all__ = [
+    "CombinationalSimulator",
+    "exhaustive_input_words",
+    "pack",
+    "random_words",
+    "unpack",
+    "SequentialSimulator",
+    "ToggleStats",
+    "functional_match",
+    "CoverageReport",
+    "Fault",
+    "FaultSimulator",
+    "enumerate_faults",
+    "fault_coverage",
+    "random_pattern_coverage",
+    "Implication",
+    "is_observable",
+    "justify",
+    "justify_and_propagate",
+    "random_observable_pattern",
+    "VcdWriter",
+    "dump_vcd",
+]

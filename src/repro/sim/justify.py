@@ -1,0 +1,252 @@
+"""Justification and propagation — the attacker's "testing technique".
+
+Section IV-A.1 of the paper: *"an attacker can use a testing technique to
+justify and propagate the output of missing gates to some observation
+points"*.  This module provides that machinery:
+
+* three-valued (0/1/X) forward implication,
+* a PODEM-style backtracking search that **justifies** internal net values
+  from primary inputs, and
+* sensitization checks that decide whether a net's value **propagates** to an
+  observable output under a pattern.
+
+All functions operate on the combinational view: DFF outputs are treated as
+controllable pseudo-inputs and DFF inputs as observable pseudo-outputs,
+i.e. the attack's per-row cost is in *patterns*; converting patterns to test
+clocks (multiplying by the sequential depth) is done by the caller, exactly
+as Eq. 1/2 of the paper do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..netlist.gates import GateType
+from ..netlist.graph import combinational_cone, topological_order
+from ..netlist.netlist import Netlist, NetlistError
+
+#: Three-valued logic: 0, 1, or None for unknown (X).
+TriVal = Optional[int]
+
+
+def _eval3(gate_type: GateType, config: Optional[int], inputs: Sequence[TriVal]) -> TriVal:
+    """Three-valued evaluation with controlling-value short-circuits."""
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type in (GateType.BUF, GateType.DFF):
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return None if inputs[0] is None else 1 - inputs[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in inputs):
+            value: TriVal = 0
+        elif any(v is None for v in inputs):
+            value = None
+        else:
+            value = 1
+        if value is None or gate_type is GateType.AND:
+            return value
+        return 1 - value
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in inputs):
+            value = 1
+        elif any(v is None for v in inputs):
+            value = None
+        else:
+            value = 0
+        if value is None or gate_type is GateType.OR:
+            return value
+        return 1 - value
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in inputs):
+            return None
+        parity = 0
+        for v in inputs:
+            parity ^= v
+        return parity if gate_type is GateType.XOR else 1 - parity
+    if gate_type is GateType.LUT:
+        if config is None:
+            return None  # unknown function: output is always X
+        # Determined only if every completion of the X inputs agrees.
+        unknown = [i for i, v in enumerate(inputs) if v is None]
+        base_row = 0
+        for i, v in enumerate(inputs):
+            if v:
+                base_row |= 1 << i
+        outputs: Set[int] = set()
+        for assignment in range(1 << len(unknown)):
+            row = base_row
+            for j, pin in enumerate(unknown):
+                if (assignment >> j) & 1:
+                    row |= 1 << pin
+            outputs.add((config >> row) & 1)
+            if len(outputs) == 2:
+                return None
+        return outputs.pop()
+    raise NetlistError(f"cannot 3-value evaluate {gate_type.value}")
+
+
+class Implication:
+    """Three-valued forward implication over the combinational view."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._order = [
+            name
+            for name in topological_order(netlist)
+            if netlist.node(name).is_combinational
+        ]
+        self._startpoints = set(netlist.inputs) | set(netlist.flip_flops)
+
+    @property
+    def startpoints(self) -> List[str]:
+        """Controllable nets: primary inputs and DFF outputs."""
+        return sorted(self._startpoints)
+
+    def run(self, assignment: Mapping[str, TriVal]) -> Dict[str, TriVal]:
+        """Imply every net value from a (partial) startpoint assignment."""
+        values: Dict[str, TriVal] = {}
+        for sp in self._startpoints:
+            values[sp] = assignment.get(sp)
+        for name in self._order:
+            node = self.netlist.node(name)
+            fanin_vals = [values[src] for src in node.fanin]
+            values[name] = _eval3(node.gate_type, node.lut_config, fanin_vals)
+        return values
+
+
+def justify(
+    netlist: Netlist,
+    objectives: Mapping[str, int],
+    rng: Optional[random.Random] = None,
+    max_backtracks: int = 10_000,
+) -> Optional[Dict[str, int]]:
+    """Find startpoint values that set every objective net to its target.
+
+    PODEM-style search: repeatedly pick an unassigned startpoint in the
+    objectives' input cone, try both values (order randomized by *rng*),
+    imply, and backtrack when an objective becomes unreachable.  Returns a
+    complete startpoint assignment (unconstrained startpoints filled with 0,
+    or randomly when *rng* is given), or ``None`` if unjustifiable within the
+    backtrack budget.
+    """
+    engine = Implication(netlist)
+    cone = combinational_cone(netlist, list(objectives))
+    candidates = [sp for sp in engine.startpoints if sp in cone]
+    assignment: Dict[str, TriVal] = {}
+    backtracks = 0
+
+    def conflict(values: Dict[str, TriVal]) -> bool:
+        return any(
+            values.get(net) is not None and values[net] != target
+            for net, target in objectives.items()
+        )
+
+    def satisfied(values: Dict[str, TriVal]) -> bool:
+        return all(values.get(net) == target for net, target in objectives.items())
+
+    def search(index: int) -> Optional[Dict[str, TriVal]]:
+        nonlocal backtracks
+        values = engine.run(assignment)
+        if conflict(values):
+            backtracks += 1
+            return None
+        if satisfied(values):
+            return dict(assignment)
+        if index >= len(candidates) or backtracks > max_backtracks:
+            backtracks += 1
+            return None
+        name = candidates[index]
+        order = [0, 1]
+        if rng is not None:
+            rng.shuffle(order)
+        for value in order:
+            assignment[name] = value
+            result = search(index + 1)
+            if result is not None:
+                return result
+            del assignment[name]
+            if backtracks > max_backtracks:
+                break
+        return None
+
+    solution = search(0)
+    if solution is None:
+        return None
+    complete: Dict[str, int] = {}
+    for sp in engine.startpoints:
+        if sp in solution and solution[sp] is not None:
+            complete[sp] = solution[sp]
+        else:
+            complete[sp] = rng.getrandbits(1) if rng is not None else 0
+    return complete
+
+
+def is_observable(
+    netlist: Netlist,
+    net: str,
+    startpoint_values: Mapping[str, int],
+    assumed: Optional[Mapping[str, int]] = None,
+) -> bool:
+    """True when flipping *net* under the given pattern flips an observation
+    point (a primary output or a DFF D pin).
+
+    *assumed* forces other nets (e.g. unknown LUT outputs pinned to a
+    hypothesis value) so hybrid netlists with unprogrammed LUTs can still be
+    analysed."""
+    from .logicsim import CombinationalSimulator
+
+    sim = CombinationalSimulator(netlist)
+    pis = {pi: startpoint_values.get(pi, 0) for pi in netlist.inputs}
+    state = {ff: startpoint_values.get(ff, 0) for ff in netlist.flip_flops}
+    assumed = dict(assumed or {})
+    low = sim.evaluate(pis, state, width=1, overrides={**assumed, net: 0})
+    high = sim.evaluate(pis, state, width=1, overrides={**assumed, net: 1})
+    observation_points = list(netlist.outputs) + [
+        netlist.node(ff).fanin[0] for ff in netlist.flip_flops
+    ]
+    return any(low[p] != high[p] for p in observation_points)
+
+
+def justify_and_propagate(
+    netlist: Netlist,
+    target: str,
+    input_row: Mapping[str, int],
+    rng: Optional[random.Random] = None,
+    attempts: int = 64,
+    assumed: Optional[Mapping[str, int]] = None,
+) -> Optional[Dict[str, int]]:
+    """One attacker test: justify *target*'s fan-in nets to *input_row* while
+    making *target* observable.
+
+    Returns the startpoint pattern achieving both, or ``None``.  Each call
+    corresponds to developing one truth-table row of a missing gate
+    (Section IV-A.1).  *assumed* is forwarded to :func:`is_observable` for
+    hybrid netlists whose other LUTs are still unknown.
+    """
+    rng = rng or random.Random(0)
+    for _ in range(attempts):
+        pattern = justify(netlist, dict(input_row), rng=rng)
+        if pattern is None:
+            return None
+        if is_observable(netlist, target, pattern, assumed=assumed):
+            return pattern
+    return None
+
+
+def random_observable_pattern(
+    netlist: Netlist,
+    net: str,
+    rng: random.Random,
+    tries: int = 256,
+) -> Optional[Dict[str, int]]:
+    """Random-search fallback: a pattern under which *net* is observable."""
+    startpoints = list(netlist.inputs) + list(netlist.flip_flops)
+    for _ in range(tries):
+        pattern = {sp: rng.getrandbits(1) for sp in startpoints}
+        if is_observable(netlist, net, pattern):
+            return pattern
+    return None

@@ -1,0 +1,195 @@
+"""Liberty-lite: a tiny text format for cell libraries.
+
+Real flows exchange ``.lib`` files; we support a small, unambiguous subset so
+libraries can be stored next to designs, diffed, and swapped without code
+changes::
+
+    library cmos90 {
+      frequency_ghz: 1.0;
+      cell NAND2 { type: NAND; inputs: 2; delay_ns: 0.045;
+                   energy_sw_pj: 0.008; leakage_nw: 8.333; area_um2: 3.0; }
+      dff DFFX1  { delay_ns: 0.12; energy_sw_pj: 0.02; leakage_nw: 20;
+                   area_um2: 18; clk_to_q_ns: 0.12; setup_ns: 0.06; }
+    }
+
+    stt_library stt32 {
+      lut LUT2 { inputs: 2; delay_ns: 0.2907; read_energy_pj: 0.07228;
+                 standby_nw: 4.0; area_um2: 8.0; }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from ..netlist.gates import GateType, parse_gate_type
+from .cells import Cell, SequentialCell, TechLibrary
+from .stt import SttLibrary, SttLutCell
+
+
+class LibertyFormatError(ValueError):
+    """Raised on malformed liberty-lite text."""
+
+
+_BLOCK_RE = re.compile(
+    r"(library|stt_library)\s+(\w+)\s*\{(.*?)\n\}", re.DOTALL
+)
+_ENTRY_RE = re.compile(r"(cell|dff|lut)\s+(\w+)\s*\{([^}]*)\}", re.DOTALL)
+_FIELD_RE = re.compile(r"(\w+)\s*:\s*([^;]+);")
+
+
+def _parse_fields(body: str) -> Dict[str, str]:
+    return {m.group(1): m.group(2).strip() for m in _FIELD_RE.finditer(body)}
+
+
+def _strip_entries(body: str) -> str:
+    return _ENTRY_RE.sub("", body)
+
+
+def loads(text: str) -> Tuple[Dict[str, TechLibrary], Dict[str, SttLibrary]]:
+    """Parse liberty-lite text into CMOS and STT libraries keyed by name."""
+    text = re.sub(r"(?m)(#|//).*$", "", text)
+    tech_libs: Dict[str, TechLibrary] = {}
+    stt_libs: Dict[str, SttLibrary] = {}
+    for block in _BLOCK_RE.finditer(text):
+        kind, name, body = block.group(1), block.group(2), block.group(3)
+        if kind == "library":
+            tech_libs[name] = _parse_tech(name, body)
+        else:
+            stt_libs[name] = _parse_stt(name, body)
+    if not tech_libs and not stt_libs:
+        raise LibertyFormatError("no library blocks found")
+    return tech_libs, stt_libs
+
+
+def _parse_tech(name: str, body: str) -> TechLibrary:
+    cells: Dict[Tuple[GateType, int], Cell] = {}
+    dff: SequentialCell | None = None
+    for entry in _ENTRY_RE.finditer(body):
+        kind, cell_name, fields_text = entry.groups()
+        fields = _parse_fields(fields_text)
+        try:
+            if kind == "cell":
+                gate_type = parse_gate_type(fields["type"])
+                k = int(fields["inputs"])
+                cells[(gate_type, k)] = Cell(
+                    name=cell_name,
+                    gate_type=gate_type,
+                    n_inputs=k,
+                    delay_ns=float(fields["delay_ns"]),
+                    energy_sw_pj=float(fields["energy_sw_pj"]),
+                    leakage_nw=float(fields["leakage_nw"]),
+                    area_um2=float(fields["area_um2"]),
+                )
+            elif kind == "dff":
+                dff = SequentialCell(
+                    name=cell_name,
+                    gate_type=GateType.DFF,
+                    n_inputs=1,
+                    delay_ns=float(fields["delay_ns"]),
+                    energy_sw_pj=float(fields["energy_sw_pj"]),
+                    leakage_nw=float(fields["leakage_nw"]),
+                    area_um2=float(fields["area_um2"]),
+                    clk_to_q_ns=float(fields.get("clk_to_q_ns", fields["delay_ns"])),
+                    setup_ns=float(fields.get("setup_ns", "0.06")),
+                )
+        except (KeyError, ValueError) as exc:
+            raise LibertyFormatError(
+                f"library {name}: bad {kind} {cell_name}: {exc}"
+            ) from exc
+    if dff is None:
+        raise LibertyFormatError(f"library {name}: missing dff entry")
+    header = _parse_fields(_strip_entries(body))
+    freq = float(header.get("frequency_ghz", "1.0"))
+    return TechLibrary(name, cells, dff, default_freq_ghz=freq)
+
+
+def _parse_stt(name: str, body: str) -> SttLibrary:
+    cells: Dict[int, SttLutCell] = {}
+    for entry in _ENTRY_RE.finditer(body):
+        kind, cell_name, fields_text = entry.groups()
+        if kind != "lut":
+            raise LibertyFormatError(
+                f"stt_library {name}: unexpected {kind} entry {cell_name}"
+            )
+        fields = _parse_fields(fields_text)
+        try:
+            k = int(fields["inputs"])
+            cells[k] = SttLutCell(
+                n_inputs=k,
+                delay_ns=float(fields["delay_ns"]),
+                read_energy_pj=float(fields["read_energy_pj"]),
+                standby_nw=float(fields["standby_nw"]),
+                area_um2=float(fields["area_um2"]),
+                write_energy_pj_per_bit=float(
+                    fields.get("write_energy_pj_per_bit", "0.85")
+                ),
+                write_latency_ns=float(fields.get("write_latency_ns", "10.0")),
+            )
+        except (KeyError, ValueError) as exc:
+            raise LibertyFormatError(
+                f"stt_library {name}: bad lut {cell_name}: {exc}"
+            ) from exc
+    if not cells:
+        raise LibertyFormatError(f"stt_library {name}: no lut entries")
+    return SttLibrary(name, cells)
+
+
+def load(path: Union[str, Path]) -> Tuple[Dict[str, TechLibrary], Dict[str, SttLibrary]]:
+    return loads(Path(path).read_text())
+
+
+def dumps_tech(library: TechLibrary) -> str:
+    """Serialise a CMOS library to liberty-lite text."""
+    lines = [f"library {library.name} {{"]
+    lines.append(f"  frequency_ghz: {library.default_freq_ghz};")
+    for (gate_type, k), cell in sorted(
+        library.cells.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+    ):
+        lines.append(
+            f"  cell {cell.name} {{ type: {gate_type.value}; inputs: {k}; "
+            f"delay_ns: {cell.delay_ns}; energy_sw_pj: {cell.energy_sw_pj}; "
+            f"leakage_nw: {cell.leakage_nw}; area_um2: {cell.area_um2}; }}"
+        )
+    dff = library.dff
+    lines.append(
+        f"  dff {dff.name} {{ delay_ns: {dff.delay_ns}; "
+        f"energy_sw_pj: {dff.energy_sw_pj}; leakage_nw: {dff.leakage_nw}; "
+        f"area_um2: {dff.area_um2}; clk_to_q_ns: {dff.clk_to_q_ns}; "
+        f"setup_ns: {dff.setup_ns}; }}"
+    )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dumps_stt(library: SttLibrary) -> str:
+    """Serialise an STT library to liberty-lite text."""
+    lines = [f"stt_library {library.name} {{"]
+    for k, cell in sorted(library.cells().items()):
+        lines.append(
+            f"  lut LUT{k} {{ inputs: {k}; delay_ns: {cell.delay_ns}; "
+            f"read_energy_pj: {cell.read_energy_pj}; "
+            f"standby_nw: {cell.standby_nw}; area_um2: {cell.area_um2}; "
+            f"write_energy_pj_per_bit: {cell.write_energy_pj_per_bit}; "
+            f"write_latency_ns: {cell.write_latency_ns}; }}"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(
+    path: Union[str, Path],
+    tech: TechLibrary = None,
+    stt: SttLibrary = None,
+) -> None:
+    """Write one or both libraries to a liberty-lite file."""
+    parts = []
+    if tech is not None:
+        parts.append(dumps_tech(tech))
+    if stt is not None:
+        parts.append(dumps_stt(stt))
+    if not parts:
+        raise ValueError("nothing to write")
+    Path(path).write_text("\n".join(parts))

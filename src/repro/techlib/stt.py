@@ -1,0 +1,205 @@
+"""Non-volatile STT-MRAM look-up-table cell models.
+
+The paper builds on the MTJ-based LUT of Suzuki [16] as improved by
+Mahmoodi [9].  Physically, a k-input NV-LUT is a tree of 2^k magnetic tunnel
+junctions read through a dynamic current-mode sense amplifier; this gives the
+cell its characteristic behaviour, which the model below encodes:
+
+* **delay and read energy depend only on fan-in**, not on the programmed
+  function or the input data (the sense amplifier fires every evaluation);
+* **near-zero standby power** — the state lives in the MTJs, which leak
+  nothing; only the small CMOS read path leaks;
+* **expensive writes** — reprogramming drives milliamp-class currents
+  through the MTJs, but happens only at provisioning time;
+* **non-volatility** — retention beyond 10 years, no external bitstream
+  memory (the security argument of Section II).
+
+Two power-accounting modes exist because the paper characterizes the cell in
+free-running read mode (Fig. 1: "active power ... independent of its input
+data activity") while circuit-level totals (Table I) are only consistent
+with reads occurring on input activity (clock-gated sensing).  See
+``DESIGN.md`` §5 for the calibration note.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class ReadMode(enum.Enum):
+    """How often the LUT's dynamic sense amplifier fires."""
+
+    EVERY_CYCLE = "every-cycle"  # Fig. 1 characterization mode
+    ON_INPUT_CHANGE = "on-input-change"  # clock-gated circuit accounting
+
+
+@dataclass(frozen=True)
+class SttLutCell:
+    """One characterized k-input STT/MTJ LUT cell.
+
+    Attributes:
+        n_inputs: fan-in k (2..8).
+        delay_ns: evaluation (read) delay; function-independent.
+        read_energy_pj: energy per read (sense + dynamic node precharge).
+        standby_nw: leakage of the CMOS read path; MTJs themselves are
+            non-volatile and leak nothing.
+        area_um2: cell area including the 2^k MTJ array and sense amp.
+        write_energy_pj_per_bit: programming energy per configuration bit.
+        write_latency_ns: per-bit programming pulse width.
+        retention_years: MTJ state retention.
+        endurance_writes: MTJ write endurance.
+    """
+
+    n_inputs: int
+    delay_ns: float
+    read_energy_pj: float
+    standby_nw: float
+    area_um2: float
+    write_energy_pj_per_bit: float = 0.85
+    write_latency_ns: float = 10.0
+    retention_years: float = 10.0
+    endurance_writes: float = 1e16
+
+    @property
+    def n_config_bits(self) -> int:
+        return 1 << self.n_inputs
+
+    def active_power_uw(
+        self,
+        freq_ghz: float,
+        activity: float = 1.0,
+        mode: ReadMode = ReadMode.EVERY_CYCLE,
+    ) -> float:
+        """Dynamic read power in µW.
+
+        In ``EVERY_CYCLE`` mode the sense amplifier fires each clock and the
+        power is activity-independent (the paper's Fig. 1 statement); in
+        ``ON_INPUT_CHANGE`` mode reads occur with probability *activity* per
+        cycle.
+        """
+        if mode is ReadMode.EVERY_CYCLE:
+            return self.read_energy_pj * freq_ghz * 1e3
+        return self.read_energy_pj * activity * freq_ghz * 1e3
+
+    def total_power_uw(
+        self,
+        freq_ghz: float,
+        activity: float = 1.0,
+        mode: ReadMode = ReadMode.EVERY_CYCLE,
+    ) -> float:
+        return self.active_power_uw(freq_ghz, activity, mode) + self.standby_nw * 1e-3
+
+    def program_energy_pj(self) -> float:
+        """Energy to (re)program the whole configuration."""
+        return self.write_energy_pj_per_bit * self.n_config_bits
+
+    def program_time_ns(self) -> float:
+        """Serial programming time for the whole configuration."""
+        return self.write_latency_ns * self.n_config_bits
+
+
+# ---------------------------------------------------------------------------
+# Calibration: with the CMOS library of repro.techlib.cells these constants
+# reproduce the paper's Fig. 1 normalized table exactly (delay, active power
+# at α = 10 %/30 %, standby power, energy-per-switching).
+# ---------------------------------------------------------------------------
+_STT_CELLS: Tuple[Tuple[int, float, float, float, float], ...] = (
+    # k, delay_ns, read_energy_pj, standby_nw, area_um2
+    (2, 0.29070, 0.072280, 4.00, 8.0),
+    (3, 0.31300, 0.089000, 7.00, 11.5),
+    (4, 0.33680, 0.107422, 12.00, 15.0),
+    (5, 0.37000, 0.150000, 16.00, 22.0),
+    (6, 0.40000, 0.210000, 20.00, 30.0),
+    (7, 0.43000, 0.290000, 24.00, 42.0),
+    (8, 0.46000, 0.410000, 28.00, 58.0),
+)
+
+
+class SttLibrary:
+    """The family of STT LUT cells available to the replacement flow."""
+
+    def __init__(self, name: str, cells: Dict[int, SttLutCell]):
+        self.name = name
+        self._cells = dict(cells)
+
+    def lut(self, n_inputs: int) -> SttLutCell:
+        """The LUT cell for *n_inputs* (1-input requests map to LUT2 with a
+        tied pin, since no 1-input MTJ LUT is manufactured)."""
+        k = max(n_inputs, 2)
+        try:
+            return self._cells[k]
+        except KeyError as exc:
+            raise KeyError(
+                f"{self.name}: no STT LUT with {n_inputs} inputs "
+                f"(available: {sorted(self._cells)})"
+            ) from exc
+
+    @property
+    def max_inputs(self) -> int:
+        return max(self._cells)
+
+    def cells(self) -> Dict[int, SttLutCell]:
+        return dict(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SttLibrary({self.name!r}, k={sorted(self._cells)})"
+
+
+def stt_mtj_32nm() -> SttLibrary:
+    """The built-in Suzuki/Mahmoodi-style MTJ LUT library (see module docs)."""
+    cells = {
+        k: SttLutCell(k, delay, energy, standby, area)
+        for k, delay, energy, standby, area in _STT_CELLS
+    }
+    return SttLibrary("stt32", cells)
+
+
+#: The exact normalized values of the paper's Fig. 1, used as the reference
+#: the model is validated against (gate -> metric -> MTJ-based-LUT value,
+#: static CMOS is 1 by construction).
+FIG1_REFERENCE: Dict[str, Dict[str, float]] = {
+    "NAND2": {
+        "delay": 6.46,
+        "active_power_a10": 90.35,
+        "active_power_a30": 30.12,
+        "standby_power": 0.48,
+        "energy_per_switching": 58.36,
+    },
+    "NAND4": {
+        "delay": 4.49,
+        "active_power_a10": 76.73,
+        "active_power_a30": 25.57,
+        "standby_power": 0.96,
+        "energy_per_switching": 34.45,
+    },
+    "NOR2": {
+        "delay": 4.85,
+        "active_power_a10": 80.2,
+        "active_power_a30": 26.73,
+        "standby_power": 0.51,
+        "energy_per_switching": 38.89,
+    },
+    "NOR4": {
+        "delay": 3.06,
+        "active_power_a10": 24.25,
+        "active_power_a30": 8.08,
+        "standby_power": 1.06,
+        "energy_per_switching": 7.42,
+    },
+    "XOR2": {
+        "delay": 4.95,
+        "active_power_a10": 22.45,
+        "active_power_a30": 7.48,
+        "standby_power": 0.13,
+        "energy_per_switching": 11.11,
+    },
+    "XOR4": {
+        "delay": 4.18,
+        "active_power_a10": 90.06,
+        "active_power_a30": 30.02,
+        "standby_power": 0.04,
+        "energy_per_switching": 37.64,
+    },
+}

@@ -1,0 +1,71 @@
+"""Shared fixtures: small circuits and library instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import load_benchmark
+from repro.netlist import GateType, Netlist
+from repro.techlib import cmos_90nm, stt_mtj_32nm
+
+
+@pytest.fixture
+def s27() -> Netlist:
+    """The genuine ISCAS'89 s27 benchmark."""
+    return load_benchmark("s27")
+
+
+@pytest.fixture(scope="session")
+def s641() -> Netlist:
+    """A mid-size generated benchmark (session-cached; treat as read-only)."""
+    return load_benchmark("s641")
+
+
+@pytest.fixture
+def tiny_comb() -> Netlist:
+    """A 5-gate combinational circuit with known truth behaviour.
+
+    y1 = (a AND b) XOR c;  y2 = NOT(a OR c)
+    """
+    n = Netlist("tiny")
+    for pi in ("a", "b", "c"):
+        n.add_input(pi)
+    n.add_gate("t_and", GateType.AND, ["a", "b"])
+    n.add_gate("y1", GateType.XOR, ["t_and", "c"])
+    n.add_gate("t_or", GateType.OR, ["a", "c"])
+    n.add_gate("y2", GateType.NOT, ["t_or"])
+    n.add_output("y1")
+    n.add_output("y2")
+    return n
+
+
+@pytest.fixture
+def tiny_seq() -> Netlist:
+    """A 2-FF pipeline: out = reg2, reg2 <= reg1 AND b, reg1 <= a XOR b."""
+    n = Netlist("tinyseq")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("x", GateType.XOR, ["a", "b"])
+    n.add_gate("reg1", GateType.DFF, ["x"])
+    n.add_gate("m", GateType.AND, ["reg1", "b"])
+    n.add_gate("reg2", GateType.DFF, ["m"])
+    n.add_gate("out", GateType.BUF, ["reg2"])
+    n.add_output("out")
+    return n
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def cmos_lib():
+    return cmos_90nm()
+
+
+@pytest.fixture(scope="session")
+def stt_lib():
+    return stt_mtj_32nm()

@@ -1,0 +1,50 @@
+"""Tests for area accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AreaAnalyzer
+from repro.netlist import GateType
+
+
+class TestArea:
+    def test_breakdown_sums(self, tiny_seq):
+        report = AreaAnalyzer().analyze(tiny_seq)
+        assert report.total_um2 == pytest.approx(
+            report.cmos_um2 + report.stt_um2 + report.sequential_um2
+        )
+        assert report.stt_um2 == 0.0
+        assert report.sequential_um2 > 0
+
+    def test_hand_computed(self, tiny_comb, cmos_lib):
+        report = AreaAnalyzer().analyze(tiny_comb)
+        expected = (
+            cmos_lib.cell(GateType.AND, 2).area_um2
+            + cmos_lib.cell(GateType.XOR, 2).area_um2
+            + cmos_lib.cell(GateType.OR, 2).area_um2
+            + cmos_lib.cell(GateType.NOT, 1).area_um2
+        )
+        assert report.total_um2 == pytest.approx(expected)
+
+    def test_lut_area_from_stt_library(self, tiny_comb, stt_lib, cmos_lib):
+        hybrid = tiny_comb.copy()
+        hybrid.replace_with_lut("t_and")
+        report = AreaAnalyzer().analyze(hybrid)
+        assert report.stt_um2 == pytest.approx(stt_lib.lut(2).area_um2)
+
+    def test_overhead_positive_and_ordered(self, tiny_comb):
+        analyzer = AreaAnalyzer()
+        h1 = tiny_comb.copy()
+        h1.replace_with_lut("t_and")
+        h2 = tiny_comb.copy()
+        h2.replace_with_lut("t_and")
+        h2.replace_with_lut("y1")
+        o1 = analyzer.area_overhead_pct(tiny_comb, h1)
+        o2 = analyzer.area_overhead_pct(tiny_comb, h2)
+        assert 0 < o1 < o2
+
+    def test_per_node_map(self, tiny_comb):
+        report = AreaAnalyzer().analyze(tiny_comb)
+        assert report.per_node_um2["t_and"] > 0
+        assert "a" not in report.per_node_um2

@@ -1,0 +1,178 @@
+"""Tests for the attack simulations — and for the paper's central security
+claims: the testing attack breaks independent selection but not dependent
+chains; brute force works only while the hypothesis space is small; the SAT
+attack (scan-enabled) breaks everything but needs more work as the paper's
+countermeasures are applied."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    BruteForceAttack,
+    ConfiguredOracle,
+    OracleAccessError,
+    SatAttack,
+    TestingAttack,
+    candidate_configs,
+    verify_key,
+)
+from repro.lut import HybridMapper
+from repro.netlist import GateType, Netlist
+
+
+def lock(netlist, names, decoy_inputs=0, seed=0):
+    mapper = HybridMapper(rng=random.Random(seed))
+    hybrid = netlist.copy(netlist.name + "_locked")
+    mapper.replace(hybrid, names, decoy_inputs=decoy_inputs)
+    foundry = mapper.strip_configs(hybrid)
+    record = mapper.extract_provisioning(hybrid)
+    return hybrid, foundry, record
+
+
+class TestOracle:
+    def test_query_counts(self, s27):
+        hybrid, _, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        oracle.query({pi: 0 for pi in s27.inputs})
+        oracle.query({pi: 1 for pi in s27.inputs}, width=1)
+        assert oracle.queries == 2
+        assert oracle.test_clocks == 2  # scan: 1 clock per query
+
+    def test_functional_mode_charges_depth(self, s27):
+        hybrid, _, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        oracle.query({pi: 0 for pi in s27.inputs})
+        assert oracle.test_clocks == oracle.depth
+
+    def test_scanless_state_setting_rejected(self, s27):
+        hybrid, _, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        with pytest.raises(OracleAccessError):
+            oracle.query({pi: 0 for pi in s27.inputs}, state={"G5": 1})
+
+    def test_unprogrammed_oracle_rejected(self, s27):
+        _, foundry, _ = lock(s27, ["G8"])
+        with pytest.raises(Exception):
+            ConfiguredOracle(foundry)
+
+    def test_observation_points(self, s27):
+        hybrid, _, _ = lock(s27, ["G8"])
+        with_scan = ConfiguredOracle(hybrid, scan=True).observation_points()
+        without = ConfiguredOracle(hybrid, scan=False).observation_points()
+        assert set(without) <= set(with_scan)
+        assert len(with_scan) == len(s27.outputs) + len(s27.flip_flops)
+
+    def test_run_sequence(self, s27):
+        hybrid, _, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        trace = oracle.run_sequence([{pi: 0 for pi in s27.inputs}] * 3)
+        assert len(trace) == 3
+        assert oracle.test_clocks == 3
+
+
+class TestTestingAttack:
+    def test_breaks_independent_disjoint_luts(self, s27):
+        """Missing gates with no mutual dependency are fully recoverable
+        (Section IV-A.1: independent selection gives 'some level of
+        security' only)."""
+        hybrid, foundry, record = lock(s27, ["G14", "G12"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = TestingAttack(foundry, oracle, seed=1).run()
+        assert result.success
+        for name, config in result.resolved.items():
+            assert config == record.configs[name], name
+
+    def test_blocked_by_dependent_chain(self, s27):
+        """G15 reads G8: justifying G15's rows requires the unknown G8."""
+        hybrid, foundry, record = lock(s27, ["G8", "G15", "G16", "G9"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = TestingAttack(foundry, oracle, seed=1).run()
+        assert not result.success
+        assert set(result.unresolved) & {"G15", "G16", "G9"}
+
+    def test_counts_accumulate(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G14"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = TestingAttack(foundry, oracle, seed=1).run()
+        assert result.oracle_queries > 0
+        assert result.test_clocks >= result.oracle_queries
+
+
+class TestBruteForce:
+    def test_candidate_configs(self):
+        assert len(candidate_configs(2)) == 6
+        assert 0b1000 in candidate_configs(2)
+
+    def test_recovers_small_key(self, s27):
+        hybrid, foundry, record = lock(s27, ["G8", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = BruteForceAttack(foundry, oracle, seed=2).run()
+        assert result.success
+        assert result.found == record.configs
+        assert result.hypotheses_total == 36
+
+    def test_budget_exhaustion(self, s641):
+        gates = [g for g in s641.gates if s641.node(g).n_inputs == 2][:12]
+        hybrid, foundry, _ = lock(s641, gates)
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        attack = BruteForceAttack(foundry, oracle, seed=2, max_hypotheses=500)
+        result = attack.run()
+        assert result.exhausted_budget
+        assert result.hypotheses_tested == 500
+        assert result.hypotheses_total == 6**12
+
+    def test_no_luts_trivial(self, s27):
+        oracle = ConfiguredOracle(s27.copy(), scan=True)
+        result = BruteForceAttack(s27.copy(), oracle).run()
+        assert result.success and result.found == {}
+
+
+class TestSatAttack:
+    def test_recovers_functional_key(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8", "G15", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle).run()
+        assert result.success
+        assert result.iterations >= 1
+        assert verify_key(foundry, result.key, hybrid)
+
+    def test_key_may_differ_but_must_be_equivalent(self, s27):
+        """The SAT attack finds *a* correct key, not necessarily the
+        provisioned bit pattern (don't-care rows may differ)."""
+        hybrid, foundry, record = lock(s27, ["G14", "G17"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle).run()
+        assert result.success
+        assert verify_key(foundry, result.key, hybrid)
+
+    def test_requires_scan(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        with pytest.raises(ValueError, match="scan"):
+            SatAttack(foundry, oracle)
+
+    def test_decoys_increase_effort(self, s27):
+        """Search-space expansion: wider LUTs mean more key bits and at
+        least as many SAT iterations/queries."""
+        base_hybrid, base_foundry, _ = lock(s27, ["G8", "G15"], seed=4)
+        wide_hybrid, wide_foundry, _ = lock(
+            s27, ["G8", "G15"], decoy_inputs=2, seed=4
+        )
+        base_oracle = ConfiguredOracle(base_hybrid, scan=True)
+        wide_oracle = ConfiguredOracle(wide_hybrid, scan=True)
+        base = SatAttack(base_foundry, base_oracle).run()
+        wide = SatAttack(wide_foundry, wide_oracle).run()
+        assert base.success and wide.success
+        base_bits = sum(1 << base_foundry.node(l).n_inputs for l in base_foundry.luts)
+        wide_bits = sum(1 << wide_foundry.node(l).n_inputs for l in wide_foundry.luts)
+        assert wide_bits > base_bits
+        assert verify_key(wide_foundry, wide.key, wide_hybrid)
+
+    def test_iteration_budget(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8", "G15", "G13", "G12"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle, max_iterations=1).run()
+        assert result.gave_up or result.iterations <= 1

@@ -1,0 +1,112 @@
+"""Tests for the ISCAS'89 .bench reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import S27_BENCH
+from repro.netlist import GateType, bench_io
+from repro.netlist.bench_io import BenchFormatError
+
+
+class TestParsing:
+    def test_s27(self):
+        n = bench_io.loads(S27_BENCH, "s27")
+        assert len(n.inputs) == 4
+        assert n.outputs == ["G17"]
+        assert n.node("G9").gate_type is GateType.NAND
+        assert n.node("G9").fanin == ["G16", "G15"]
+        assert n.node("G5").gate_type is GateType.DFF
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\nINPUT(a) # trailing\n\nOUTPUT(y)\ny = NOT(a)\n"
+        n = bench_io.loads(text)
+        assert n.inputs == ["a"]
+
+    def test_case_insensitive_keywords(self):
+        n = bench_io.loads("input(a)\noutput(y)\ny = not(a)\n")
+        assert n.node("y").gate_type is GateType.NOT
+
+    def test_bad_statement_reports_line(self):
+        with pytest.raises(BenchFormatError) as info:
+            bench_io.loads("INPUT(a)\nthis is garbage\n")
+        assert info.value.lineno == 2
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchFormatError, match="unknown gate type"):
+            bench_io.loads("INPUT(a)\ny = MAJ(a, a, a)\n")
+
+    def test_duplicate_driver(self):
+        with pytest.raises(BenchFormatError, match="multiple drivers"):
+            bench_io.loads("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n")
+
+    def test_undriven_output(self):
+        with pytest.raises(Exception):
+            bench_io.loads("INPUT(a)\nOUTPUT(nothing)\n")
+
+
+class TestLutExtension:
+    def test_programmed_lut(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT(0x8; a, b)\n"
+        n = bench_io.loads(text)
+        node = n.node("y")
+        assert node.gate_type is GateType.LUT
+        assert node.lut_config == 0x8
+        assert node.fanin == ["a", "b"]
+
+    def test_unprogrammed_lut(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT(?; a, b)\n"
+        n = bench_io.loads(text)
+        assert n.node("y").lut_config is None
+
+    def test_lut_without_config_part(self):
+        with pytest.raises(BenchFormatError, match="config"):
+            bench_io.loads("INPUT(a)\nINPUT(b)\ny = LUT(a, b)\n")
+
+    def test_bad_config_literal(self):
+        with pytest.raises(BenchFormatError, match="bad LUT config"):
+            bench_io.loads("INPUT(a)\nINPUT(b)\ny = LUT(zz; a, b)\n")
+
+    def test_decimal_config(self):
+        n = bench_io.loads("INPUT(a)\nINPUT(b)\ny = LUT(8; a, b)\n")
+        assert n.node("y").lut_config == 8
+
+
+class TestRoundTrip:
+    def test_s27_roundtrip(self, s27):
+        text = bench_io.dumps(s27)
+        again = bench_io.loads(text, "s27")
+        assert again.stats() == s27.stats()._replace() if hasattr(s27.stats(), "_replace") else True
+        assert [n.name for n in again] == [n.name for n in s27]
+        for node in s27:
+            clone = again.node(node.name)
+            assert clone.gate_type is node.gate_type
+            assert clone.fanin == node.fanin
+
+    def test_hybrid_roundtrip(self, s27):
+        h = s27.copy()
+        h.replace_with_lut("G8")
+        text = bench_io.dumps(h)
+        again = bench_io.loads(text)
+        assert again.node("G8").lut_config == h.node("G8").lut_config
+
+    def test_foundry_view_withholds_configs(self, s27):
+        h = s27.copy()
+        h.replace_with_lut("G8")
+        text = bench_io.dumps(h, include_config=False)
+        assert "0x" not in text
+        assert "LUT(?" in text
+        again = bench_io.loads(text)
+        assert again.node("G8").lut_config is None
+
+    def test_file_io(self, s27, tmp_path):
+        path = tmp_path / "c.bench"
+        bench_io.dump(s27, path)
+        again = bench_io.load(path)
+        assert again.name == "c"
+        assert len(again) == len(s27)
+
+    def test_header_contains_stats(self, s27):
+        text = bench_io.dumps(s27)
+        assert "4 inputs" in text
+        assert "3 D-type flip-flops" in text

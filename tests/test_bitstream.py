@@ -1,0 +1,76 @@
+"""Tests for provisioning bitstream serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lut import ProvisioningRecord, bitstream
+from repro.lut.bitstream import BitstreamError
+
+
+@pytest.fixture
+def record():
+    r = ProvisioningRecord(circuit="demo")
+    r.configs = {"lutA": 0b1000, "lutB": 0x7F, "lutC": 0xDEAD}
+    r.pin_counts = {"lutA": 2, "lutB": 3, "lutC": 4}
+    return r
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self, record):
+        again = bitstream.loads(bitstream.dumps(record))
+        assert again.circuit == "demo"
+        assert again.configs == record.configs
+        assert again.pin_counts == record.pin_counts
+
+    def test_file_roundtrip(self, record, tmp_path):
+        path = tmp_path / "demo.stt"
+        bitstream.dump(record, path)
+        again = bitstream.load(path)
+        assert again.configs == record.configs
+
+    def test_empty_record(self):
+        empty = ProvisioningRecord(circuit="empty")
+        again = bitstream.loads(bitstream.dumps(empty))
+        assert len(again) == 0
+
+    def test_wide_lut(self):
+        r = ProvisioningRecord(circuit="wide")
+        r.configs = {"w": (1 << 256) - 3}
+        r.pin_counts = {"w": 8}
+        again = bitstream.loads(bitstream.dumps(r))
+        assert again.configs["w"] == (1 << 256) - 3
+
+
+class TestCorruption:
+    def test_checksum_detects_bitflip(self, record):
+        data = bytearray(bitstream.dumps(record))
+        data[10] ^= 0x40
+        with pytest.raises(BitstreamError, match="checksum"):
+            bitstream.loads(bytes(data))
+
+    def test_truncation_detected(self, record):
+        data = bitstream.dumps(record)
+        with pytest.raises(BitstreamError):
+            bitstream.loads(data[: len(data) // 2])
+
+    def test_bad_magic(self, record):
+        data = bytearray(bitstream.dumps(record))
+        data[0:4] = b"NOPE"
+        import struct, zlib
+
+        body = bytes(data[:-4])
+        data[-4:] = struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(BitstreamError, match="magic"):
+            bitstream.loads(bytes(data))
+
+    def test_too_short(self):
+        with pytest.raises(BitstreamError, match="too short"):
+            bitstream.loads(b"ST")
+
+    def test_oversized_config_rejected_on_write(self):
+        r = ProvisioningRecord(circuit="bad")
+        r.configs = {"x": 0x1F}
+        r.pin_counts = {"x": 2}
+        with pytest.raises(BitstreamError, match="does not fit"):
+            bitstream.dumps(r)

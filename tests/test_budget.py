@@ -1,0 +1,73 @@
+"""Tests for inverse security budgeting (sizing selection to a target)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.locking import (
+    BudgetPlan,
+    plan_parametric,
+    required_missing_gates,
+    years_to_clocks,
+)
+from repro.locking.metrics import PATTERNS_PER_SECOND
+
+
+class TestAnalyticBound:
+    def test_years_to_clocks(self):
+        clocks = years_to_clocks(1.0)
+        assert clocks == pytest.approx(PATTERNS_PER_SECOND * 3600 * 24 * 365.25)
+        with pytest.raises(ValueError):
+            years_to_clocks(0)
+
+    def test_zero_target_needs_nothing(self):
+        assert required_missing_gates(0.0) == 0
+
+    def test_bound_is_inverse_of_eq3(self):
+        """Plugging the bound's M back into Eq. 3 clears the target."""
+        for target_log10 in (6.0, 20.0, 100.0):
+            m = required_missing_gates(target_log10, circuit_depth=4)
+            achieved_log2 = (
+                2.0 * m + m * math.log2(2.5) + math.log2(4)
+            )
+            assert achieved_log2 * math.log10(2) >= target_log10 - 1e-9
+
+    def test_monotone_in_target(self):
+        assert required_missing_gates(50.0) > required_missing_gates(10.0)
+
+    def test_wider_luts_need_fewer(self):
+        assert required_missing_gates(50.0, lut_inputs=4) <= required_missing_gates(
+            50.0, lut_inputs=2
+        )
+
+
+class TestPlanParametric:
+    def test_meets_thousand_year_target(self, s641):
+        plan = plan_parametric(s641, target_years=1000.0, seed=2)
+        assert isinstance(plan, BudgetPlan)
+        assert plan.met
+        assert plan.security.log10_n_bf >= plan.target_log10_clocks
+        assert plan.n_stt >= 1
+
+    def test_raw_clock_target(self, s641):
+        plan = plan_parametric(s641, target_clocks_log10=10.0, seed=2)
+        assert plan.met
+
+    def test_exactly_one_target_required(self, s641):
+        with pytest.raises(ValueError):
+            plan_parametric(s641)
+        with pytest.raises(ValueError):
+            plan_parametric(s641, target_years=1.0, target_clocks_log10=5.0)
+
+    def test_unreachable_target_reports_honestly(self, s27):
+        """A tiny circuit cannot reach 1e300 clocks; the plan says so."""
+        plan = plan_parametric(s27, target_clocks_log10=300.0, seed=1, max_paths=2)
+        assert not plan.met
+        assert plan.security.log10_n_bf < 300.0
+
+    def test_higher_target_more_luts(self, s641):
+        small = plan_parametric(s641, target_clocks_log10=8.0, seed=2)
+        large = plan_parametric(s641, target_clocks_log10=40.0, seed=2)
+        assert large.n_stt >= small.n_stt

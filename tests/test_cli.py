@@ -1,0 +1,137 @@
+"""End-to-end tests of the repro-lock command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import bench_io
+from repro.sat import check_equivalence
+
+
+@pytest.fixture
+def s27_file(tmp_path):
+    from repro.circuits import load_benchmark
+
+    path = tmp_path / "s27.bench"
+    bench_io.dump(load_benchmark("s27"), path)
+    return path
+
+
+class TestGen:
+    def test_gen_writes_bench(self, tmp_path, capsys):
+        out = tmp_path / "c.bench"
+        assert main(["gen", "s820", "--out", str(out)]) == 0
+        n = bench_io.load(out)
+        assert len(n.gates) == 289
+        assert "wrote" in capsys.readouterr().out
+
+    def test_gen_s27(self, tmp_path):
+        out = tmp_path / "s27.bench"
+        assert main(["gen", "s27", "--out", str(out)]) == 0
+        assert len(bench_io.load(out)) == 17
+
+
+class TestLock:
+    @pytest.mark.parametrize("algorithm", ["independent", "dependent", "parametric"])
+    def test_lock_produces_three_artifacts(self, algorithm, s27_file, tmp_path, capsys):
+        out = tmp_path / f"{algorithm}.bench"
+        assert main([
+            "lock", str(s27_file), "--algorithm", algorithm, "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        foundry = out.with_name(out.stem + "_foundry.bench")
+        assert foundry.exists()
+        assert out.with_suffix(".stt").exists()
+        hybrid = bench_io.load(out)
+        assert hybrid.luts
+        foundry_netlist = bench_io.load(foundry)
+        assert all(
+            foundry_netlist.node(l).lut_config is None
+            for l in foundry_netlist.luts
+        )
+        assert "replaced" in capsys.readouterr().out
+
+    def test_lock_benchmark_by_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lock", "s27", "--algorithm", "independent"]) == 0
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["lock", "no-such-circuit"])
+
+
+class TestProgramAndAnalyze:
+    def test_program_roundtrip(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main(["lock", str(s27_file), "--algorithm", "independent", "--out", str(out)])
+        foundry = out.with_name("h_foundry.bench")
+        provisioned = tmp_path / "prov.bench"
+        assert main([
+            "program", str(foundry), str(out.with_suffix(".stt")),
+            "--out", str(provisioned),
+        ]) == 0
+        original = bench_io.load(s27_file)
+        result = check_equivalence(original, bench_io.load(provisioned))
+        assert result.equivalent
+        assert "programmed" in capsys.readouterr().out
+
+    def test_analyze_prints_metrics(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main(["lock", str(s27_file), "--algorithm", "independent", "--out", str(out)])
+        assert main(["analyze", str(s27_file), str(out), "--formula", "independent"]) == 0
+        text = capsys.readouterr().out
+        assert "performance degradation %" in text
+        assert "test clocks" in text
+
+
+class TestAttackCommand:
+    def test_sat_attack_breaks_s27(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main(["lock", str(s27_file), "--algorithm", "independent", "--out", str(out)])
+        foundry = out.with_name("h_foundry.bench")
+        code = main(["attack", str(foundry), str(out), "--attack", "sat"])
+        assert code == 0
+        assert "KEY FOUND" in capsys.readouterr().out
+
+    def test_brute_attack(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main([
+            "lock", str(s27_file), "--algorithm", "independent", "--out", str(out),
+        ])
+        foundry = out.with_name("h_foundry.bench")
+        main(["attack", str(foundry), str(out), "--attack", "brute"])
+        assert "brute force" in capsys.readouterr().out
+
+
+class TestFlowCommand:
+    def test_flow_produces_report_and_artifacts(self, s27_file, tmp_path, capsys):
+        code = main([
+            "flow", str(s27_file), "--level", "basic",
+            "--out-dir", str(tmp_path / "release"), "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert (tmp_path / "release").exists()
+        assert list((tmp_path / "release").glob("*.stt"))
+
+    def test_flow_levels(self, s27_file, capsys):
+        for level in ("basic", "strong", "strong-timing-aware"):
+            assert main(["flow", str(s27_file), "--level", level]) == 0
+        assert "missing gates" in capsys.readouterr().out
+
+
+class TestMlAttackCommand:
+    def test_ml_attack_runs(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main(["lock", str(s27_file), "--algorithm", "independent", "--out", str(out)])
+        foundry = out.with_name("h_foundry.bench")
+        main(["attack", str(foundry), str(out), "--attack", "ml", "--seed", "2"])
+        assert "ml attack" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_lists_benches(self, capsys):
+        assert main(["report"]) == 0
+        assert "pytest benchmarks/" in capsys.readouterr().out

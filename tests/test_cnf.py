@@ -1,0 +1,96 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat import Cnf, CnfError, at_most_one, exactly_one
+
+
+class TestCnf:
+    def test_new_var_and_names(self):
+        cnf = Cnf()
+        a = cnf.new_var("a")
+        b = cnf.new_var()
+        assert (a, b) == (1, 2)
+        assert cnf.var("a") == 1
+        assert cnf.var("c") == 3  # lazily created
+        assert cnf.names() == {"a": 1, "c": 3}
+
+    def test_duplicate_name_rejected(self):
+        cnf = Cnf()
+        cnf.new_var("a")
+        with pytest.raises(CnfError):
+            cnf.new_var("a")
+
+    def test_add_clause_validation(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, -2])
+        with pytest.raises(CnfError, match="reserved"):
+            cnf.add_clause([1, 0])
+        with pytest.raises(CnfError, match="unallocated"):
+            cnf.add_clause([3])
+
+    def test_empty_clause_kept(self):
+        cnf = Cnf(1)
+        cnf.add_clause([])
+        assert [] in cnf.clauses
+
+    def test_extend_shifts_variables(self):
+        a = Cnf(2)
+        a.add_clause([1, -2])
+        b = Cnf(2)
+        b.add_clause([-1, 2])
+        mapping = a.extend(b)
+        assert mapping == {1: 3, 2: 4}
+        assert a.num_vars == 4
+        assert a.clauses == [[1, -2], [-3, 4]]
+
+    def test_len(self):
+        cnf = Cnf(1)
+        cnf.add_clauses([[1], [-1]])
+        assert len(cnf) == 2
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        a, b = cnf.new_var("a"), cnf.new_var("b")
+        cnf.add_clause([a, -b])
+        cnf.add_clause([-a])
+        text = cnf.dumps()
+        assert "p cnf 2 2" in text
+        again = Cnf.loads(text)
+        assert again.num_vars == 2
+        assert again.clauses == [[1, -2], [-1]]
+
+    def test_file_io(self, tmp_path):
+        cnf = Cnf(3)
+        cnf.add_clause([1, 2, 3])
+        path = tmp_path / "f.cnf"
+        cnf.dump(path)
+        assert Cnf.load(path).clauses == [[1, 2, 3]]
+
+    def test_bad_problem_line(self):
+        with pytest.raises(CnfError):
+            Cnf.loads("p sat 3 1\n1 0\n")
+
+    def test_clause_before_header(self):
+        with pytest.raises(CnfError, match="before problem line"):
+            Cnf.loads("1 2 0\n")
+
+    def test_no_header(self):
+        with pytest.raises(CnfError, match="no problem line"):
+            Cnf.loads("c only comments\n")
+
+
+class TestCardinality:
+    def test_exactly_one(self):
+        clauses = exactly_one([1, 2, 3])
+        assert [1, 2, 3] in clauses
+        assert [-1, -2] in clauses and [-2, -3] in clauses and [-1, -3] in clauses
+        assert len(clauses) == 4
+
+    def test_at_most_one(self):
+        clauses = at_most_one([1, 2])
+        assert clauses == [[-1, -2]]

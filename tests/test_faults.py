@@ -1,0 +1,104 @@
+"""Tests for stuck-at fault simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import GateType, Netlist
+from repro.sim import (
+    Fault,
+    FaultSimulator,
+    enumerate_faults,
+    fault_coverage,
+    random_pattern_coverage,
+)
+
+
+class TestFaultList:
+    def test_enumeration(self, tiny_comb):
+        faults = enumerate_faults(tiny_comb)
+        assert len(faults) == 2 * len(tiny_comb)
+        assert Fault("t_and", 0) in faults
+        assert str(Fault("t_and", 1)) == "t_and/SA1"
+
+    def test_exclude_inputs(self, tiny_comb):
+        faults = enumerate_faults(tiny_comb, include_inputs=False)
+        assert all(f.net not in tiny_comb.inputs for f in faults)
+
+
+class TestDetection:
+    def test_hand_computed(self):
+        """y = AND(a, b): a=1,b=1 detects y/SA0; a=0 detects y/SA1."""
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("y", GateType.AND, ["a", "b"])
+        n.add_output("y")
+        sim = FaultSimulator(n)
+        assert sim.detects(Fault("y", 0), {"a": 1, "b": 1})
+        assert not sim.detects(Fault("y", 0), {"a": 0, "b": 1})
+        assert sim.detects(Fault("y", 1), {"a": 0, "b": 0})
+
+    def test_masked_fault(self):
+        """A fault behind a blocking AND is undetectable when unsensitized."""
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("sel")
+        n.add_gate("t", GateType.NOT, ["a"])
+        n.add_gate("y", GateType.AND, ["t", "sel"])
+        n.add_output("y")
+        sim = FaultSimulator(n)
+        assert not sim.detects(Fault("t", 0), {"a": 0, "sel": 0})
+        assert sim.detects(Fault("t", 0), {"a": 0, "sel": 1})
+
+    def test_word_parallel_matches_scalar(self, tiny_comb, rng):
+        sim = FaultSimulator(tiny_comb)
+        fault = Fault("t_and", 1)
+        width = 8
+        pattern = {pi: rng.getrandbits(width) for pi in tiny_comb.inputs}
+        word = sim.detects(fault, pattern, width=width)
+        for bit in range(width):
+            scalar = {pi: (pattern[pi] >> bit) & 1 for pi in tiny_comb.inputs}
+            assert bool(sim.detects(fault, scalar)) == bool((word >> bit) & 1)
+
+
+class TestCoverage:
+    def test_exhaustive_coverage_combinational(self, tiny_comb):
+        from repro.sim import exhaustive_input_words, unpack
+
+        patterns = []
+        for row in range(8):
+            patterns.append(
+                {pi: (row >> k) & 1 for k, pi in enumerate(tiny_comb.inputs)}
+            )
+        report = fault_coverage(tiny_comb, patterns)
+        # Every structural fault in this tiny circuit is testable.
+        assert report.coverage == 1.0
+        assert not report.undetected
+
+    def test_no_patterns_no_coverage(self, tiny_comb):
+        report = fault_coverage(tiny_comb, [])
+        assert report.coverage == 0.0
+        assert report.detected == 0
+
+    def test_fault_dropping_counts(self, tiny_comb):
+        report = random_pattern_coverage(tiny_comb, n_patterns=32, seed=1)
+        assert report.detected + len(report.undetected) == report.total_faults
+
+    def test_scan_improves_observability(self, s27):
+        """Scan-mode observation (D-pins visible) must dominate PO-only
+        observation — the testability the security flow trades away."""
+        with_scan = random_pattern_coverage(s27, n_patterns=48, scan=True, seed=3)
+        without = random_pattern_coverage(s27, n_patterns=48, scan=False, seed=3)
+        assert with_scan.coverage >= without.coverage
+        assert with_scan.coverage > 0.7
+
+    def test_hybrid_keeps_testability(self, s27):
+        """LUT replacement must not change stuck-at coverage materially
+        (the hybrid is logically identical once programmed)."""
+        hybrid = s27.copy()
+        for g in ["G8", "G12", "G15"]:
+            hybrid.replace_with_lut(g)
+        base = random_pattern_coverage(s27, n_patterns=64, seed=5)
+        locked = random_pattern_coverage(hybrid, n_patterns=64, seed=5)
+        assert abs(base.coverage - locked.coverage) < 0.1

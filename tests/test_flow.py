@@ -1,0 +1,122 @@
+"""Tests for the orchestrated security-driven design flow (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locking import (
+    DependentSelection,
+    IndependentSelection,
+    ParametricSelection,
+    SecurityDrivenFlow,
+    SecurityLevel,
+    SecurityRequirement,
+)
+from repro.lut import HybridMapper, bitstream
+from repro.netlist import NetlistError, bench_io, insert_scan_chain
+from repro.sat import check_equivalence
+
+
+@pytest.fixture
+def flow():
+    return SecurityDrivenFlow()
+
+
+class TestAlgorithmChoice:
+    def test_level_mapping(self, flow):
+        assert isinstance(
+            flow.choose_algorithm(SecurityRequirement(SecurityLevel.BASIC)),
+            IndependentSelection,
+        )
+        assert isinstance(
+            flow.choose_algorithm(SecurityRequirement(SecurityLevel.STRONG)),
+            DependentSelection,
+        )
+        assert isinstance(
+            flow.choose_algorithm(
+                SecurityRequirement(SecurityLevel.STRONG_TIMING_AWARE)
+            ),
+            ParametricSelection,
+        )
+
+    def test_requirement_knobs_forwarded(self, flow):
+        req = SecurityRequirement(
+            level=SecurityLevel.STRONG_TIMING_AWARE,
+            timing_margin=0.2,
+            decoy_inputs=1,
+            absorb=True,
+            seed=9,
+        )
+        algo = flow.choose_algorithm(req)
+        assert algo.timing_margin == 0.2
+        assert algo.decoy_inputs == 1
+        assert algo.absorb is True
+        assert algo.seed == 9
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "level",
+        [SecurityLevel.BASIC, SecurityLevel.STRONG, SecurityLevel.STRONG_TIMING_AWARE],
+    )
+    def test_full_run(self, flow, s641, level):
+        report = flow.run(s641, SecurityRequirement(level=level, seed=3))
+        assert report.equivalence_verified
+        assert report.n_stt >= 1
+        assert report.overhead.n_stt == report.n_stt
+        assert report.security.n_missing == report.n_stt
+        assert report.circuit == "s641"
+        text = report.summary()
+        assert "VERIFIED" in text
+        assert level.value in text
+
+    def test_min_missing_gate_requirement(self, flow, s641):
+        req = SecurityRequirement(
+            level=SecurityLevel.BASIC, min_missing_gates=10_000
+        )
+        with pytest.raises(NetlistError, match="demands"):
+            flow.run(s641, req)
+
+    def test_artifacts_written_and_consistent(self, flow, s641, tmp_path):
+        report = flow.run(
+            s641,
+            SecurityRequirement(level=SecurityLevel.BASIC, seed=1),
+            output_dir=tmp_path,
+        )
+        assert set(report.artifacts) == {
+            "hybrid_bench",
+            "foundry_bench",
+            "foundry_verilog",
+            "bitstream",
+        }
+        for path in report.artifacts.values():
+            assert path.exists()
+        # Foundry view + bitstream re-provision to an equivalent design.
+        fabricated = bench_io.load(report.artifacts["foundry_bench"])
+        record = bitstream.load(report.artifacts["bitstream"])
+        provisioned = HybridMapper().program(fabricated, record)
+        assert check_equivalence(s641, provisioned).equivalent
+
+    def test_scan_disabled_on_release(self, flow, s27):
+        scanned = s27.copy("s27_scan")
+        insert_scan_chain(scanned)
+        report = flow.run(
+            scanned,
+            SecurityRequirement(level=SecurityLevel.BASIC, seed=1),
+        )
+        assert report.scan_disabled
+        assert "scan_out" not in report.selection.hybrid.outputs
+
+    def test_scan_left_when_requested(self, flow, s27):
+        scanned = s27.copy("s27_scan2")
+        insert_scan_chain(scanned)
+        report = flow.run(
+            scanned,
+            SecurityRequirement(
+                level=SecurityLevel.BASIC,
+                seed=1,
+                disable_scan_on_release=False,
+            ),
+        )
+        assert not report.scan_disabled
+        assert "scan_out" in report.selection.hybrid.outputs

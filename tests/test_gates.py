@@ -1,0 +1,196 @@
+"""Unit tests for repro.netlist.gates: truth tables and similarity."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.netlist.gates import (
+    CANDIDATE_TYPES,
+    GateArityError,
+    GateType,
+    all_functions,
+    candidate_tables,
+    check_arity,
+    evaluate_gate,
+    format_truth_table,
+    is_inverting,
+    max_arity,
+    min_arity,
+    parse_gate_type,
+    similarity,
+    truth_table,
+    truth_table_to_type,
+)
+
+
+class TestTruthTables:
+    def test_and2(self):
+        assert truth_table(GateType.AND, 2) == 0b1000
+
+    def test_nand2(self):
+        assert truth_table(GateType.NAND, 2) == 0b0111
+
+    def test_or2(self):
+        assert truth_table(GateType.OR, 2) == 0b1110
+
+    def test_nor2(self):
+        assert truth_table(GateType.NOR, 2) == 0b0001
+
+    def test_xor2(self):
+        assert truth_table(GateType.XOR, 2) == 0b0110
+
+    def test_xnor2(self):
+        assert truth_table(GateType.XNOR, 2) == 0b1001
+
+    def test_not(self):
+        assert truth_table(GateType.NOT, 1) == 0b01
+
+    def test_buf(self):
+        assert truth_table(GateType.BUF, 1) == 0b10
+
+    def test_complement_pairs(self):
+        """NAND = ~AND, NOR = ~OR, XNOR = ~XOR at every fan-in."""
+        pairs = [
+            (GateType.AND, GateType.NAND),
+            (GateType.OR, GateType.NOR),
+            (GateType.XOR, GateType.XNOR),
+        ]
+        for k in (2, 3, 4):
+            full = (1 << (1 << k)) - 1
+            for plain, inverted in pairs:
+                assert truth_table(plain, k) ^ truth_table(inverted, k) == full
+
+    def test_and3_has_single_one(self):
+        mask = truth_table(GateType.AND, 3)
+        assert bin(mask).count("1") == 1
+        assert (mask >> 0b111) & 1 == 1
+
+    def test_xor_parity(self):
+        mask = truth_table(GateType.XOR, 4)
+        for row in range(16):
+            assert (mask >> row) & 1 == bin(row).count("1") % 2
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(GateArityError):
+            truth_table(GateType.AND, 1)
+        with pytest.raises(GateArityError):
+            truth_table(GateType.NOT, 2)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("gate_type", list(CANDIDATE_TYPES))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_scalar_matches_truth_table(self, gate_type, k):
+        mask = truth_table(gate_type, k)
+        for row in range(1 << k):
+            bits = [(row >> pin) & 1 for pin in range(k)]
+            assert evaluate_gate(gate_type, bits) & 1 == (mask >> row) & 1
+
+    def test_word_parallel_and(self):
+        # Word-parallel: all four 2-bit patterns at once.
+        a, b = 0b1100, 0b1010
+        assert evaluate_gate(GateType.AND, [a, b]) & 0xF == 0b1000
+        assert evaluate_gate(GateType.NAND, [a, b]) & 0xF == 0b0111
+        assert evaluate_gate(GateType.XOR, [a, b]) & 0xF == 0b0110
+
+    def test_word_parallel_wide_patterns(self):
+        # Regression: the AND reduction must not clip high pattern bits.
+        a = 0xFF
+        b = 0xFE
+        assert evaluate_gate(GateType.NAND, [a, b]) & 0xFF == 0x01
+
+    def test_const_gates(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) & 0xFF == 0xFF
+
+    def test_dff_passes_through(self):
+        assert evaluate_gate(GateType.DFF, [0b101]) == 0b101
+
+
+class TestSimilarity:
+    def test_paper_examples(self):
+        """AND/NOR agree on 2 rows; AND/NAND on 0 (Section IV-A.1)."""
+        and2 = truth_table(GateType.AND, 2)
+        assert similarity(and2, truth_table(GateType.NOR, 2), 2) == 2
+        assert similarity(and2, truth_table(GateType.NAND, 2), 2) == 0
+
+    def test_self_similarity_is_full(self):
+        for k in (2, 3):
+            mask = truth_table(GateType.OR, k)
+            assert similarity(mask, mask, k) == 1 << k
+
+    def test_symmetry(self):
+        tables = candidate_tables(3)
+        for a, b in itertools.combinations(tables.values(), 2):
+            assert similarity(a, b, 3) == similarity(b, a, 3)
+
+    def test_range(self):
+        for a, b in itertools.combinations(candidate_tables(2).values(), 2):
+            assert 0 <= similarity(a, b, 2) <= 4
+
+
+class TestTruthTableToType:
+    @pytest.mark.parametrize("gate_type", list(CANDIDATE_TYPES))
+    def test_roundtrip(self, gate_type):
+        for k in (2, 3):
+            mask = truth_table(gate_type, k)
+            assert truth_table_to_type(mask, k) is gate_type
+
+    def test_constants(self):
+        assert truth_table_to_type(0, 2) is GateType.CONST0
+        assert truth_table_to_type(0xF, 2) is GateType.CONST1
+
+    def test_unknown_complex_function(self):
+        # f = a AND (NOT b): not a standard candidate.
+        assert truth_table_to_type(0b0010, 2) is None
+
+    def test_one_input(self):
+        assert truth_table_to_type(0b10, 1) is GateType.BUF
+        assert truth_table_to_type(0b01, 1) is GateType.NOT
+
+
+class TestArity:
+    def test_bounds(self):
+        assert min_arity(GateType.AND) == 2
+        assert min_arity(GateType.NOT) == 1
+        assert max_arity(GateType.NOT) == 1
+        assert max_arity(GateType.LUT) == 8
+        assert min_arity(GateType.CONST0) == 0
+
+    def test_check_arity_passes(self):
+        check_arity(GateType.NAND, 4)
+
+    def test_check_arity_fails(self):
+        with pytest.raises(GateArityError):
+            check_arity(GateType.LUT, 9)
+
+
+class TestParse:
+    def test_standard_names(self):
+        assert parse_gate_type("nand") is GateType.NAND
+        assert parse_gate_type("DFF") is GateType.DFF
+
+    def test_aliases(self):
+        assert parse_gate_type("INV") is GateType.NOT
+        assert parse_gate_type("BUFF") is GateType.BUF
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown gate type"):
+            parse_gate_type("MAJ3")
+
+
+class TestMisc:
+    def test_is_inverting(self):
+        assert is_inverting(GateType.NAND)
+        assert is_inverting(GateType.NOT)
+        assert not is_inverting(GateType.AND)
+        assert not is_inverting(GateType.XOR)
+
+    def test_all_functions_count(self):
+        assert len(list(all_functions(2))) == 16
+
+    def test_format_truth_table(self):
+        assert format_truth_table(0b0110, 2) == "0110"
+        assert format_truth_table(0b1, 1) == "01"

@@ -1,0 +1,168 @@
+"""Tests for the three selection algorithms (the paper's core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PpaAnalyzer, TimingAnalyzer
+from repro.locking import (
+    ALGORITHMS,
+    DependentSelection,
+    IndependentSelection,
+    ParametricSelection,
+    replaceable_gates_on_paths,
+)
+from repro.sim import functional_match
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        assert set(ALGORITHMS) == {"independent", "dependent", "parametric"}
+
+
+class TestSelectionResultContract:
+    @pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+    def test_common_contract(self, algo_name, s641):
+        result = ALGORITHMS[algo_name](seed=5).run(s641)
+        # Original untouched.
+        assert not s641.luts
+        # Hybrid is functionally identical once programmed.
+        assert functional_match(s641, result.hybrid, cycles=8, width=32)
+        # Replaced list matches the hybrid's LUTs.
+        assert sorted(result.hybrid.luts) == result.replaced
+        assert result.n_stt == len(result.replaced)
+        # Provisioning covers every LUT.
+        assert set(result.provisioning.configs) == set(result.replaced)
+        # Foundry view withholds every configuration.
+        foundry = result.foundry_view()
+        assert all(foundry.node(l).lut_config is None for l in foundry.luts)
+        assert result.cpu_seconds >= 0.0
+        assert result.params["seed"] == 5
+
+    @pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+    def test_deterministic_by_seed(self, algo_name, s641):
+        a = ALGORITHMS[algo_name](seed=7).run(s641)
+        b = ALGORITHMS[algo_name](seed=7).run(s641)
+        assert a.replaced == b.replaced
+
+    def test_different_seeds_usually_differ(self, s641):
+        a = IndependentSelection(seed=1).run(s641)
+        b = IndependentSelection(seed=2).run(s641)
+        assert a.replaced != b.replaced
+
+
+class TestIndependent:
+    def test_default_count_is_five(self, s641):
+        assert IndependentSelection(seed=0).run(s641).n_stt == 5
+
+    def test_custom_count(self, s641):
+        assert IndependentSelection(n_gates=12, seed=0).run(s641).n_stt == 12
+
+    def test_small_design_honours_count(self, s27):
+        result = IndependentSelection(n_gates=4, seed=0).run(s27)
+        assert result.n_stt == 4
+
+    def test_count_capped_by_design(self, s27):
+        result = IndependentSelection(n_gates=50, seed=0).run(s27)
+        assert result.n_stt == len(s27.gates)
+
+    def test_params_recorded(self, s27):
+        result = IndependentSelection(n_gates=3, seed=0).run(s27)
+        assert result.params["n_gates"] == 3
+
+
+class TestDependent:
+    def test_replaces_whole_paths(self, s641):
+        result = DependentSelection(seed=1).run(s641)
+        assert result.n_stt > 5  # full timing paths, not single gates
+        # All gates of the deepest path must be LUTs.
+        path = result.io_paths[0]
+        for gate in path.gates(result.hybrid):
+            assert result.hybrid.node(gate).is_lut
+
+    def test_luts_form_connected_chain(self, s641):
+        """Dependency property: at least one LUT reads another LUT."""
+        result = DependentSelection(seed=1).run(s641)
+        luts = set(result.replaced)
+        chained = sum(
+            1
+            for name in luts
+            if any(src in luts for src in result.hybrid.node(name).fanin)
+        )
+        assert chained > 0
+
+    def test_more_paths_more_luts(self, s641):
+        one = DependentSelection(n_io_paths=1, seed=1).run(s641)
+        three = DependentSelection(n_io_paths=3, seed=1).run(s641)
+        assert three.n_stt >= one.n_stt
+
+
+class TestParametric:
+    def test_timing_constraint_respected(self, s641):
+        algo = ParametricSelection(seed=3, timing_margin=0.08)
+        result = algo.run(s641)
+        timing = TimingAnalyzer()
+        degradation = timing.performance_degradation_pct(s641, result.hybrid)
+        assert degradation <= 8.0 + 1e-6
+
+    def test_tight_margin_limits_replacement(self, s641):
+        loose = ParametricSelection(seed=3, timing_margin=0.5).run(s641)
+        tight = ParametricSelection(seed=3, timing_margin=0.0).run(s641)
+        timing = TimingAnalyzer()
+        assert (
+            timing.performance_degradation_pct(s641, tight.hybrid)
+            <= timing.performance_degradation_pct(s641, loose.hybrid) + 1e-9
+        )
+
+    def test_only_multi_input_gates_on_path_selected(self, s641):
+        """Section IV-A.3: only gates with ≥2 inputs are considered on the
+        path; 1-input gates may still enter via the USL closure."""
+        result = ParametricSelection(seed=3).run(s641)
+        path_nodes = set(result.io_paths[0].nodes) if result.io_paths else set()
+        for name in result.replaced:
+            node = result.hybrid.node(name)
+            original_inputs = node.n_inputs
+            if name in path_nodes:
+                assert original_inputs >= 2
+
+    def test_usl_closure_covers_neighbours(self, s641):
+        """Every neighbour of an unselected path gate is a LUT, part of the
+        path, or recorded as timing-skipped."""
+        from repro.netlist.transform import immediate_neighbours
+
+        algo = ParametricSelection(seed=3)
+        result = algo.run(s641)
+        hybrid = result.hybrid
+        skipped = set(algo.skipped_neighbours)
+        n_paths = algo.n_io_paths or algo._auto_paths(hybrid)
+        for path in result.io_paths[:n_paths]:
+            path_nodes = set(path.nodes)
+            for gate in path.gates(hybrid):
+                node = hybrid.node(gate)
+                if node.is_lut or node.n_inputs < 2:
+                    continue  # selected or never considered
+                for neighbour in immediate_neighbours(hybrid, gate):
+                    if neighbour in path_nodes:
+                        continue
+                    n_node = hybrid.node(neighbour)
+                    from repro.netlist import GateType
+
+                    if n_node.gate_type in (GateType.CONST0, GateType.CONST1):
+                        continue
+                    assert n_node.is_lut or neighbour in skipped
+
+    def test_gates_per_segment_scales_selection(self, s641):
+        few = ParametricSelection(seed=3, gates_per_segment=1).run(s641)
+        many = ParametricSelection(seed=3, gates_per_segment=4).run(s641)
+        assert many.n_stt >= few.n_stt
+
+
+class TestHelper:
+    def test_replaceable_gates_on_paths(self, s641):
+        from repro.analysis import PathFinder
+
+        paths = PathFinder(s641, seed=0).collect_paths()
+        pool = replaceable_gates_on_paths(s641, paths, min_inputs=2)
+        assert pool
+        assert all(s641.node(g).n_inputs >= 2 for g in pool)
+        assert len(pool) == len(set(pool))

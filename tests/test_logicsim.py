@@ -1,0 +1,132 @@
+"""Tests for bit-parallel combinational simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist import GateType, Netlist, NetlistError
+from repro.sim import (
+    CombinationalSimulator,
+    exhaustive_input_words,
+    pack,
+    random_words,
+    unpack,
+)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        assert unpack(pack(bits), len(bits)) == bits
+
+    def test_random_words_width(self, rng):
+        words = random_words(["a", "b"], 16, rng)
+        assert set(words) == {"a", "b"}
+        assert all(w < (1 << 16) for w in words.values())
+
+
+class TestExhaustiveWords:
+    def test_three_inputs(self, tiny_comb):
+        words = exhaustive_input_words(tiny_comb)
+        width = 8
+        # Input i alternates in blocks of 2^i.
+        assert unpack(words["a"], width) == [0, 1, 0, 1, 0, 1, 0, 1]
+        assert unpack(words["b"], width) == [0, 0, 1, 1, 0, 0, 1, 1]
+        assert unpack(words["c"], width) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_too_many_inputs_rejected(self):
+        n = Netlist()
+        for i in range(21):
+            n.add_input(f"i{i}")
+        with pytest.raises(NetlistError):
+            exhaustive_input_words(n)
+
+
+class TestCombinationalSimulator:
+    def test_tiny_exhaustive(self, tiny_comb):
+        sim = CombinationalSimulator(tiny_comb)
+        words = exhaustive_input_words(tiny_comb)
+        values = sim.evaluate(words, width=8)
+        for pattern in range(8):
+            a, b, c = pattern & 1, (pattern >> 1) & 1, (pattern >> 2) & 1
+            y1 = (a & b) ^ c
+            y2 = 1 - (a | c)
+            assert (values["y1"] >> pattern) & 1 == y1
+            assert (values["y2"] >> pattern) & 1 == y2
+
+    def test_missing_input_raises(self, tiny_comb):
+        sim = CombinationalSimulator(tiny_comb)
+        with pytest.raises(NetlistError, match="missing value"):
+            sim.evaluate({"a": 1, "b": 0})
+
+    def test_state_defaults_to_zero(self, tiny_seq):
+        sim = CombinationalSimulator(tiny_seq)
+        values = sim.evaluate({"a": 1, "b": 1})
+        assert values["reg1"] == 0
+        assert values["m"] == 0  # reg1=0 AND b=1
+
+    def test_next_state(self, tiny_seq):
+        sim = CombinationalSimulator(tiny_seq)
+        nxt = sim.next_state({"a": 1, "b": 0})
+        assert nxt == {"reg1": 1, "reg2": 0}
+
+    def test_outputs_view(self, tiny_comb):
+        sim = CombinationalSimulator(tiny_comb)
+        outs = sim.outputs({"a": 1, "b": 1, "c": 0})
+        assert set(outs) == {"y1", "y2"}
+        assert outs["y1"] == 1
+
+    def test_overrides_force_net(self, tiny_comb):
+        sim = CombinationalSimulator(tiny_comb)
+        base = sim.evaluate({"a": 1, "b": 1, "c": 0})
+        forced = sim.evaluate({"a": 1, "b": 1, "c": 0}, overrides={"t_and": 0})
+        assert base["y1"] == 1
+        assert forced["y1"] == 0
+        assert forced["t_and"] == 0
+
+    def test_override_on_startpoint(self, tiny_seq):
+        sim = CombinationalSimulator(tiny_seq)
+        values = sim.evaluate({"a": 0, "b": 1}, overrides={"reg1": 1})
+        assert values["m"] == 1
+
+    def test_lut_simulation_matches_gate(self, tiny_comb):
+        sim_gate = CombinationalSimulator(tiny_comb)
+        hybrid = tiny_comb.copy()
+        for g in list(hybrid.gates):
+            hybrid.replace_with_lut(g)
+        sim_lut = CombinationalSimulator(hybrid)
+        words = exhaustive_input_words(tiny_comb)
+        v1 = sim_gate.evaluate(words, width=8)
+        v2 = sim_lut.evaluate(words, width=8)
+        for po in tiny_comb.outputs:
+            assert v1[po] == v2[po]
+
+    def test_unprogrammed_lut_raises(self, tiny_comb):
+        tiny_comb.replace_with_lut("t_and", program=False)
+        sim = CombinationalSimulator(tiny_comb)
+        with pytest.raises(NetlistError, match="unprogrammed"):
+            sim.evaluate({"a": 1, "b": 1, "c": 1})
+
+    def test_wide_width_masking(self, tiny_comb, rng):
+        sim = CombinationalSimulator(tiny_comb)
+        width = 128
+        words = random_words(tiny_comb.inputs, width, rng)
+        values = sim.evaluate(words, width=width)
+        mask = (1 << width) - 1
+        for value in values.values():
+            assert 0 <= value <= mask
+
+    def test_word_parallel_agrees_with_scalar(self, s27, rng):
+        sim = CombinationalSimulator(s27)
+        width = 32
+        pis = random_words(s27.inputs, width, rng)
+        state = random_words(s27.flip_flops, width, rng)
+        packed = sim.evaluate(pis, state, width=width)
+        for pattern in rng.sample(range(width), 8):
+            spis = {k: (v >> pattern) & 1 for k, v in pis.items()}
+            sstate = {k: (v >> pattern) & 1 for k, v in state.items()}
+            scalar = sim.evaluate(spis, sstate, width=1)
+            for name, word in packed.items():
+                assert (word >> pattern) & 1 == scalar[name], name

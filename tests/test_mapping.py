@@ -1,0 +1,102 @@
+"""Tests for HybridMapper: replacement, hardening, provisioning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lut import HybridMapper, ProvisioningRecord
+from repro.netlist import GateType, NetlistError
+from repro.sat import check_equivalence
+from repro.sim import functional_match
+
+
+@pytest.fixture
+def mapper():
+    return HybridMapper(rng=random.Random(9))
+
+
+class TestReplace:
+    def test_plain_replacement_equivalent(self, mapper, s27):
+        hybrid = s27.copy()
+        replaced = mapper.replace(hybrid, ["G8", "G12", "G16"])
+        assert len(replaced) == 3
+        assert check_equivalence(s27, hybrid).equivalent
+
+    def test_decoys_preserve_function(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8", "G12"], decoy_inputs=2)
+        assert functional_match(s27, hybrid)
+        for name in hybrid.luts:
+            assert hybrid.node(name).n_inputs >= 2
+
+    def test_absorb_preserves_function(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G9"], absorb=True)
+        assert functional_match(s27, hybrid)
+
+    def test_decoys_widen_pin_count(self, mapper, tiny_comb):
+        hybrid = tiny_comb.copy()
+        mapper.replace(hybrid, ["t_and"], decoy_inputs=1)
+        assert hybrid.node("t_and").n_inputs == 3
+        assert hybrid.node("t_and").attrs.get("decoy_pins") == 1
+
+    def test_skips_luts_already_replaced(self, mapper, tiny_comb):
+        hybrid = tiny_comb.copy()
+        mapper.replace(hybrid, ["t_and"])
+        replaced = mapper.replace(hybrid, ["t_and", "y1"])
+        assert replaced == ["y1"]
+
+
+class TestProvisioning:
+    def test_extract(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8", "G12"])
+        record = mapper.extract_provisioning(hybrid)
+        assert len(record) == 2
+        assert record.circuit == hybrid.name
+        assert record.pin_counts["G8"] == 2
+        assert record.total_bits == 8
+
+    def test_extract_unprogrammed_rejected(self, mapper, s27):
+        hybrid = s27.copy()
+        hybrid.replace_with_lut("G8", program=False)
+        with pytest.raises(NetlistError, match="not programmed"):
+            mapper.extract_provisioning(hybrid)
+
+    def test_strip_and_program_cycle(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8", "G12", "G15"])
+        record = mapper.extract_provisioning(hybrid)
+        foundry = mapper.strip_configs(hybrid)
+        assert all(foundry.node(l).lut_config is None for l in foundry.luts)
+        # The original hybrid is untouched (strip works on a copy).
+        assert all(hybrid.node(l).lut_config is not None for l in hybrid.luts)
+        provisioned = mapper.program(foundry, record)
+        assert check_equivalence(provisioned, s27).equivalent
+
+    def test_program_missing_entry_rejected(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8"])
+        foundry = mapper.strip_configs(hybrid)
+        with pytest.raises(NetlistError, match="no provisioning data"):
+            mapper.program(foundry, ProvisioningRecord(circuit="x"))
+
+    def test_program_width_mismatch_rejected(self, mapper, s27):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8"])
+        record = mapper.extract_provisioning(hybrid)
+        record.pin_counts["G8"] = 4
+        foundry = mapper.strip_configs(hybrid)
+        with pytest.raises(NetlistError, match="width mismatch"):
+            mapper.program(foundry, record)
+
+    def test_program_cost(self, mapper, s27, stt_lib):
+        hybrid = s27.copy()
+        mapper.replace(hybrid, ["G8", "G12"])
+        record = mapper.extract_provisioning(hybrid)
+        energy, time_ns = mapper.program_cost(record)
+        cell = stt_lib.lut(2)
+        assert energy == pytest.approx(2 * cell.program_energy_pj())
+        assert time_ns == pytest.approx(2 * cell.program_time_ns())

@@ -1,0 +1,84 @@
+"""Tests for the paper's path-discovery pipeline (PathFinder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IOPath, PathFinder, TimingAnalyzer
+
+
+class TestSampling:
+    def test_sample_rate(self, s641):
+        finder = PathFinder(s641, sample_rate=0.02, min_sample=5, seed=1)
+        sample = finder.sample_components()
+        expected = max(5, round(0.02 * len(s641.gates)))
+        assert len(sample) == expected
+        assert all(name in s641.gates for name in sample)
+
+    def test_min_sample_floor(self, tiny_seq):
+        finder = PathFinder(tiny_seq, sample_rate=0.02, min_sample=2, seed=1)
+        assert len(finder.sample_components()) == 2
+
+    def test_deterministic_by_seed(self, s641):
+        a = PathFinder(s641, seed=7).sample_components()
+        b = PathFinder(s641, seed=7).sample_components()
+        assert a == b
+
+
+class TestCollect:
+    def test_paths_are_unique_and_sorted(self, s641):
+        finder = PathFinder(s641, seed=3)
+        paths = finder.collect_paths()
+        assert paths, "expected at least one path"
+        keys = [p.nodes for p in paths]
+        assert len(keys) == len(set(keys))
+        depths = [p.n_flip_flops for p in paths]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_paths_meet_ff_minimum(self, s641):
+        finder = PathFinder(s641, min_flip_flops=2, seed=3)
+        for path in finder.collect_paths():
+            assert path.n_flip_flops >= 1  # relaxation may go to 1 but not 0
+
+    def test_paths_start_and_end_at_interface(self, s641):
+        finder = PathFinder(s641, seed=3)
+        for path in finder.collect_paths():
+            assert s641.node(path.nodes[0]).is_input
+            assert path.nodes[-1] in s641.outputs
+
+    def test_critical_path_excluded(self, s641):
+        timing = TimingAnalyzer()
+        finder = PathFinder(s641, timing=timing, seed=3)
+        report = timing.analyze(s641)
+        critical = {
+            g for g in report.critical_path if s641.node(g).is_combinational
+        }
+        paths = finder.collect_paths(exclude_critical=True)
+        overlapping = [
+            p for p in paths if critical & set(p.gates(s641))
+        ]
+        # The fallback keeps paths only when *all* paths touch the critical
+        # path; otherwise none may overlap.
+        if len(overlapping) != len(paths):
+            assert not overlapping
+
+    def test_relaxation_on_shallow_design(self, tiny_seq):
+        finder = PathFinder(tiny_seq, min_flip_flops=2, seed=0)
+        paths = finder.collect_paths()
+        assert paths
+        assert paths[0].n_flip_flops == 2
+
+
+class TestIOPathHelpers:
+    def test_timing_paths_and_gates(self, tiny_seq):
+        finder = PathFinder(tiny_seq, seed=0)
+        path = finder.collect_paths()[0]
+        segments = path.timing_paths(tiny_seq)
+        assert len(segments) == path.n_flip_flops + 1
+        gates = path.gates(tiny_seq)
+        assert all(tiny_seq.node(g).is_combinational for g in gates)
+        assert len(path) == len(path.nodes)
+
+    def test_depth_property(self):
+        path = IOPath(nodes=("a", "f1", "f2", "y"), n_flip_flops=2)
+        assert path.depth == 2

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Strategies build random well-formed netlists and CNF formulas; the
+properties are the invariants the rest of the system depends on:
+
+* ``.bench`` and Verilog serialisation round-trip exactly;
+* gate evaluation == truth-table lookup == CNF semantics;
+* LUT replacement / widening / pin permutation preserve functions;
+* the SAT solver agrees with brute force and its models check out;
+* the similarity metric is a metric-like quantity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    CANDIDATE_TYPES,
+    GateType,
+    Netlist,
+    bench_io,
+    similarity,
+    topological_order,
+    truth_table,
+    verilog_io,
+)
+from repro.lut import permute_pins, widen_config
+from repro.sat import Solver, check_equivalence, encode_netlist
+from repro.sim import CombinationalSimulator, exhaustive_input_words
+
+_GATE_TYPES = list(CANDIDATE_TYPES) + [GateType.NOT, GateType.BUF]
+
+
+@st.composite
+def netlists(draw, max_inputs: int = 5, max_gates: int = 14, sequential: bool = False):
+    """A random well-formed netlist (acyclic by construction)."""
+    n_inputs = draw(st.integers(2, max_inputs))
+    n_gates = draw(st.integers(1, max_gates))
+    netlist = Netlist("rand")
+    signals = []
+    for i in range(n_inputs):
+        netlist.add_input(f"i{i}")
+        signals.append(f"i{i}")
+    n_ffs = draw(st.integers(0, 3)) if sequential else 0
+    gate_index = 0
+    for f in range(n_ffs):
+        # DFF fed by an already-existing signal; output usable downstream.
+        src = signals[draw(st.integers(0, len(signals) - 1))]
+        name = f"ff{f}"
+        netlist.add_gate(name, GateType.DFF, [src])
+        signals.append(name)
+    for _ in range(n_gates):
+        gate_type = draw(st.sampled_from(_GATE_TYPES))
+        if gate_type in (GateType.NOT, GateType.BUF):
+            arity = 1
+        else:
+            arity = draw(st.integers(2, min(4, len(signals))))
+        picked = draw(
+            st.lists(
+                st.integers(0, len(signals) - 1),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        name = f"g{gate_index}"
+        gate_index += 1
+        netlist.add_gate(name, gate_type, [signals[i] for i in picked])
+        signals.append(name)
+    # Outputs: the last few gates.
+    gates = netlist.gates
+    n_outputs = draw(st.integers(1, min(3, len(gates))))
+    for name in gates[-n_outputs:]:
+        netlist.add_output(name)
+    return netlist
+
+
+@st.composite
+def cnf_instances(draw):
+    n_vars = draw(st.integers(2, 8))
+    n_clauses = draw(st.integers(1, 30))
+    clauses = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, min(3, n_vars)))
+        chosen = draw(
+            st.lists(
+                st.integers(1, n_vars), min_size=width, max_size=width, unique=True
+            )
+        )
+        clause = [v if draw(st.booleans()) else -v for v in chosen]
+        clauses.append(clause)
+    return n_vars, clauses
+
+
+common = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSerializationRoundTrips:
+    @common
+    @given(netlists(sequential=True))
+    def test_bench_roundtrip(self, netlist):
+        again = bench_io.loads(bench_io.dumps(netlist), netlist.name)
+        assert [n.name for n in again] == [n.name for n in netlist]
+        for node in netlist:
+            clone = again.node(node.name)
+            assert clone.gate_type is node.gate_type
+            assert clone.fanin == node.fanin
+            assert clone.lut_config == node.lut_config
+        assert again.outputs == netlist.outputs
+
+    @common
+    @given(netlists(sequential=True))
+    def test_verilog_roundtrip(self, netlist):
+        again = verilog_io.loads(verilog_io.dumps(netlist), netlist.name)
+        assert set(again.node_names()) == set(netlist.node_names())
+        for node in netlist:
+            assert again.node(node.name).fanin == node.fanin
+
+
+class TestSimulationSemantics:
+    @common
+    @given(netlists())
+    def test_simulation_matches_cnf(self, netlist):
+        """Word-parallel simulation and Tseitin encoding agree on every
+        input assignment."""
+        sim = CombinationalSimulator(netlist)
+        words = exhaustive_input_words(netlist)
+        width = 1 << len(netlist.inputs)
+        sim_values = sim.evaluate(words, width=width)
+        cnf, enc = encode_netlist(netlist)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        rng = random.Random(0)
+        for row in rng.sample(range(width), min(8, width)):
+            assumptions = []
+            for k, pi in enumerate(netlist.inputs):
+                var = enc.net_vars[pi]
+                assumptions.append(var if (row >> k) & 1 else -var)
+            assert solver.solve(assumptions)
+            model = solver.model()
+            for po in netlist.outputs:
+                assert model[enc.net_vars[po]] == bool(
+                    (sim_values[po] >> row) & 1
+                )
+
+    @common
+    @given(netlists())
+    def test_lut_replacement_equivalent(self, netlist):
+        hybrid = netlist.copy()
+        for g in list(hybrid.gates):
+            hybrid.replace_with_lut(g)
+        assert check_equivalence(netlist, hybrid).equivalent
+
+    @common
+    @given(netlists(sequential=True))
+    def test_topological_order_is_valid(self, netlist):
+        order = topological_order(netlist)
+        assert len(order) == len(netlist)
+        position = {name: i for i, name in enumerate(order)}
+        for node in netlist:
+            if node.is_combinational:
+                for src in node.fanin:
+                    assert position[src] < position[node.name]
+
+
+class TestLutConfigProperties:
+    @common
+    @given(
+        st.integers(0, 15),
+        st.integers(1, 3),
+    )
+    def test_widen_preserves_low_function(self, config, extra):
+        wide = widen_config(config, 2, extra)
+        for row in range(1 << (2 + extra)):
+            assert (wide >> row) & 1 == (config >> (row & 0b11)) & 1
+
+    @common
+    @given(st.integers(0, 255), st.permutations(list(range(3))))
+    def test_permute_is_bijective(self, config, order):
+        permuted = permute_pins(config, 3, order)
+        inverse = [0] * 3
+        for new_pin, old_pin in enumerate(order):
+            inverse[old_pin] = new_pin
+        assert permute_pins(permuted, 3, inverse) == config
+
+    @common
+    @given(st.sampled_from(list(CANDIDATE_TYPES)), st.integers(2, 4))
+    def test_similarity_complement(self, gate_type, k):
+        """similarity(f, ~f) == 0 and similarity(f, f) == 2^k."""
+        mask = truth_table(gate_type, k)
+        full = (1 << (1 << k)) - 1
+        assert similarity(mask, mask ^ full, k) == 0
+        assert similarity(mask, mask, k) == 1 << k
+
+
+class TestSolverProperties:
+    @common
+    @given(cnf_instances())
+    def test_solver_vs_brute_force(self, instance):
+        n_vars, clauses = instance
+        solver = Solver()
+        solver.ensure_vars(n_vars)
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        got = ok and solver.solve()
+        want = any(
+            all(
+                any((lit > 0) == bool((a >> (abs(lit) - 1)) & 1) for lit in c)
+                for c in clauses
+            )
+            for a in range(1 << n_vars)
+        )
+        assert got == want
+        if got:
+            model = solver.model()
+            for clause in clauses:
+                assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+    @common
+    @given(cnf_instances())
+    def test_assumptions_consistent_with_added_units(self, instance):
+        """solve(assumptions=[l]) == solve() after add_clause([l])."""
+        n_vars, clauses = instance
+        lit = 1
+        a = Solver()
+        a.ensure_vars(n_vars)
+        ok_a = all([a.add_clause(c) for c in clauses])
+        got_assumed = ok_a and a.solve([lit])
+        b = Solver()
+        b.ensure_vars(n_vars)
+        ok_b = all([b.add_clause(c) for c in clauses])
+        ok_b = ok_b and b.add_clause([lit])
+        got_added = ok_b and b.solve()
+        assert got_assumed == got_added
+
+
+class TestTransformationProperties:
+    """The clean-up and mapping passes must preserve function on arbitrary
+    well-formed netlists."""
+
+    @common
+    @given(netlists(max_inputs=4, max_gates=10))
+    def test_sweep_preserves_function(self, netlist):
+        from repro.netlist import GateType, sweep
+
+        # Sprinkle constants into some fan-ins to give sweep work to do.
+        netlist.add_gate("k_one", GateType.CONST1, [])
+        netlist.add_gate("k_zero", GateType.CONST0, [])
+        victims = [g for g in netlist.gates if netlist.node(g).n_inputs >= 2]
+        for g in victims[:2]:
+            netlist.rewire_fanin(g, 0, "k_one")
+        reference = netlist.copy("ref")
+        sweep(netlist)
+        sim_ref = CombinationalSimulator(reference)
+        sim_new = CombinationalSimulator(netlist)
+        words = exhaustive_input_words(reference)
+        width = 1 << len(reference.inputs)
+        ref_values = sim_ref.evaluate(words, width=width)
+        new_values = sim_new.evaluate(words, width=width)
+        for po in reference.outputs:
+            assert ref_values[po] == new_values[po]
+
+    @common
+    @given(netlists(max_inputs=4, max_gates=10))
+    def test_decompose_preserves_function(self, netlist):
+        from repro.netlist import decompose_to_max_fanin, fanin_histogram
+
+        reference = netlist.copy("ref")
+        decompose_to_max_fanin(netlist, max_fanin=2)
+        assert all(k <= 2 for k in fanin_histogram(netlist))
+        assert check_equivalence(reference, netlist).equivalent
+
+    @common
+    @given(netlists(max_inputs=4, max_gates=8))
+    def test_decompose_then_nand_map_preserves_function(self, netlist):
+        from repro.netlist import (
+            GateType,
+            decompose_to_max_fanin,
+            map_to_nand,
+        )
+
+        reference = netlist.copy("ref")
+        decompose_to_max_fanin(netlist, max_fanin=2)
+        map_to_nand(netlist)
+        for node in netlist:
+            if node.is_combinational:
+                assert node.gate_type in (GateType.NAND, GateType.NOT)
+        assert check_equivalence(reference, netlist).equivalent

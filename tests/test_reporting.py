@@ -1,0 +1,70 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+import math
+
+from repro.reporting import format_cell, format_mmss, format_scientific, format_table
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.0) == "0.00"
+
+    def test_large_and_small_scientific(self):
+        assert "E" in format_cell(1.5e7)
+        assert "E" in format_cell(2e-5)
+
+    def test_nan_and_none(self):
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(None) == "-"
+
+    def test_ints_and_strings(self):
+        assert format_cell(42) == "42"
+        assert format_cell("s641") == "s641"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["Circuit", "Value"],
+            [("s641", 1.5), ("s38584", 20.25)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Circuit" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("s641 ")
+        # Numbers are right-aligned: the value column ends at same offset.
+        assert lines[3].rstrip().endswith("1.50")
+        assert lines[4].rstrip().endswith("20.25")
+
+    def test_width_adapts_to_content(self):
+        text = format_table(["A"], [("very-long-label",)])
+        assert "very-long-label" in text
+
+
+class TestScientific:
+    def test_small_exponent(self):
+        assert format_scientific(math.log10(6.07e21)) == "6.07E+21"
+
+    def test_huge_exponent(self):
+        assert format_scientific(219.783) == "6.07E+219"
+
+    def test_mantissa_carry(self):
+        # log10 value just below an integer boundary must not emit 10.0E+x.
+        out = format_scientific(2.9999999)
+        assert not out.startswith("10")
+
+
+class TestMmss:
+    def test_sub_minute(self):
+        assert format_mmss(0.7) == "00:00.7"
+
+    def test_minutes(self):
+        assert format_mmss(75.5) == "01:15.5"
+
+    def test_paper_style(self):
+        assert format_mmss(44.0) == "00:44.0"

@@ -1,0 +1,87 @@
+"""Tests for sequential simulation and toggle statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist import GateType, Netlist
+from repro.sim import SequentialSimulator, functional_match
+
+
+class TestSequentialSimulator:
+    def test_pipeline_latency(self, tiny_seq):
+        """out = (a XOR b) AND b', delayed by two cycles."""
+        sim = SequentialSimulator(tiny_seq)
+        # cycle 0: feed a=1,b=0 -> x=1 captured into reg1
+        sim.step({"a": 1, "b": 0})
+        # cycle 1: b=1 -> m = reg1(1) AND 1 = 1 captured into reg2
+        values = sim.step({"a": 0, "b": 1})
+        assert values["out"] == 0  # reg2 still old
+        # cycle 2: out now shows reg2 = 1
+        values = sim.step({"a": 0, "b": 0})
+        assert values["out"] == 1
+
+    def test_reset(self, tiny_seq):
+        sim = SequentialSimulator(tiny_seq)
+        sim.step({"a": 1, "b": 1})
+        sim.reset()
+        assert all(v == 0 for v in sim.state.values())
+
+    def test_run_returns_po_trace(self, tiny_seq):
+        sim = SequentialSimulator(tiny_seq)
+        trace = sim.run([{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 0, "b": 0}])
+        assert [t["out"] for t in trace] == [0, 0, 1]
+
+    def test_s27_known_sequence(self, s27):
+        """s27 from all-zero state: G17 = NOT(G11); with zero state and zero
+        inputs G11 = NOR(G5, G9); hand-computed first cycle."""
+        sim = SequentialSimulator(s27)
+        values = sim.step({"G0": 0, "G1": 0, "G2": 0, "G3": 0})
+        # G14=NOT(0)=1, G8=AND(1,0)=0, G12=NOR(0,0)=1, G15=OR(1,0)=1,
+        # G16=OR(0,0)=0, G9=NAND(0,1)=1, G11=NOR(0,1)=0, G17=NOT(0)=1
+        assert values["G17"] == 1
+
+    def test_toggle_stats(self, tiny_seq):
+        sim = SequentialSimulator(tiny_seq, width=8)
+        stats = sim.run_random(64, random.Random(0))
+        assert stats.cycles == 64
+        # x = a XOR b toggles often under random stimulus.
+        assert stats.activity("x") > 0.2
+        # A net's activity is a probability.
+        for name in tiny_seq.node_names():
+            assert 0.0 <= stats.activity(name) <= 1.0
+        acts = stats.activities()
+        assert acts["x"] == stats.activity("x")
+
+    def test_toggle_stats_empty(self, tiny_seq):
+        sim = SequentialSimulator(tiny_seq)
+        stats = sim.run_random(0, random.Random(0))
+        assert stats.activity("x") == 0.0
+
+
+class TestFunctionalMatch:
+    def test_identical_circuits_match(self, s27):
+        assert functional_match(s27, s27.copy())
+
+    def test_hybrid_matches_original(self, s27):
+        h = s27.copy()
+        for g in ["G8", "G15", "G10"]:
+            h.replace_with_lut(g)
+        assert functional_match(s27, h)
+
+    def test_wrong_config_detected(self, s27):
+        h = s27.copy()
+        h.replace_with_lut("G8")
+        h.node("G8").lut_config ^= 0b1111  # flip every row
+        assert not functional_match(s27, h)
+
+    def test_interface_mismatch(self, s27, tiny_seq):
+        assert not functional_match(s27, tiny_seq)
+
+    def test_subtle_single_row_error(self, s27):
+        h = s27.copy()
+        h.replace_with_lut("G11")
+        h.node("G11").lut_config ^= 0b0001
+        assert not functional_match(s27, h, cycles=64, width=64)

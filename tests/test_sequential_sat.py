@@ -1,0 +1,95 @@
+"""Tests for the sequential (scan-disabled) SAT attack."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    ConfiguredOracle,
+    SatAttack,
+    SequentialSatAttack,
+)
+from repro.lut import HybridMapper
+from repro.sim import functional_match
+
+
+def lock(netlist, names, seed=0):
+    mapper = HybridMapper(rng=random.Random(seed))
+    hybrid = netlist.copy(netlist.name + "_locked")
+    mapper.replace(hybrid, names)
+    return hybrid, mapper.strip_configs(hybrid)
+
+
+class TestSequentialSatAttack:
+    def test_recovers_key_without_scan(self, s27):
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        result = SequentialSatAttack(foundry, oracle, unroll_depth=4).run()
+        assert result.success
+        assert result.bounded_only
+        candidate = foundry.copy("cand")
+        for name, config in result.key.items():
+            candidate.node(name).lut_config = config
+        assert functional_match(hybrid, candidate, cycles=64, width=32)
+
+    def test_costs_more_than_scan_attack(self, s27):
+        """Disabling scan measurably raises the bar: more test clocks than
+        the combinational attack on the same lock."""
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13"])
+        scan_oracle = ConfiguredOracle(hybrid, scan=True)
+        scan_result = SatAttack(foundry.copy(), scan_oracle).run()
+        seq_oracle = ConfiguredOracle(hybrid, scan=False)
+        seq_result = SequentialSatAttack(
+            foundry.copy(), seq_oracle, unroll_depth=4
+        ).run()
+        assert scan_result.success and seq_result.success
+        assert seq_result.test_clocks > scan_result.test_clocks
+
+    def test_queries_charge_unroll_depth(self, s27):
+        hybrid, foundry = lock(s27, ["G14"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        result = SequentialSatAttack(foundry, oracle, unroll_depth=3).run()
+        if result.iterations:
+            assert result.test_clocks == result.iterations * 3
+
+    def test_no_luts_trivial(self, s27):
+        oracle = ConfiguredOracle(s27.copy(), scan=False)
+        result = SequentialSatAttack(s27.copy(), oracle).run()
+        assert result.success and result.key == {}
+
+    def test_iteration_budget(self, s27):
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13", "G12"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        result = SequentialSatAttack(
+            foundry, oracle, unroll_depth=2, max_iterations=1
+        ).run()
+        assert result.gave_up or result.iterations <= 1
+
+    def test_bad_depth_rejected(self, s27):
+        hybrid, foundry = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        with pytest.raises(ValueError):
+            SequentialSatAttack(foundry, oracle, unroll_depth=0)
+
+    def test_deeper_unroll_distinguishes_more(self, s27):
+        """A deeper bound can only strengthen the attack: the k=1 key must
+        be consistent with at least as few dialogues as the k=4 key."""
+        hybrid, foundry = lock(s27, ["G8", "G15"])
+        shallow = SequentialSatAttack(
+            foundry.copy(),
+            ConfiguredOracle(hybrid, scan=False),
+            unroll_depth=1,
+        ).run()
+        deep = SequentialSatAttack(
+            foundry.copy(),
+            ConfiguredOracle(hybrid, scan=False),
+            unroll_depth=4,
+        ).run()
+        assert deep.success
+        if shallow.success and deep.success:
+            deep_cand = foundry.copy("deep")
+            for name, config in deep.key.items():
+                deep_cand.node(name).lut_config = config
+            assert functional_match(hybrid, deep_cand, cycles=64, width=32)

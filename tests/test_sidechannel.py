@@ -1,0 +1,116 @@
+"""Tests for power-trace simulation and side-channel analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PowerTraceSimulator,
+    compare_leakage,
+    correlation_attack,
+    pearson,
+)
+from repro.netlist import GateType, Netlist
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            pearson([], [])
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+
+class TestPowerTrace:
+    def test_trace_length_and_watch(self, tiny_seq):
+        sim = PowerTraceSimulator(tiny_seq)
+        trace = sim.trace(32, watch=["x", "m"])
+        assert trace.cycles == 32
+        assert len(trace.samples_pj) == 32
+        assert len(trace.values_of("x")) == 32
+        assert all(v in (0, 1) for v in trace.values_of("m"))
+
+    def test_energy_nonnegative_without_noise(self, tiny_seq):
+        trace = PowerTraceSimulator(tiny_seq).trace(64)
+        assert all(e >= 0.0 for e in trace.samples_pj)
+
+    def test_noise_changes_trace(self, tiny_seq):
+        clean = PowerTraceSimulator(tiny_seq, noise_pj=0.0).trace(16)
+        noisy = PowerTraceSimulator(tiny_seq, noise_pj=0.05, seed=1).trace(16)
+        assert clean.samples_pj != noisy.samples_pj
+
+    def test_deterministic_stimulus(self, tiny_seq):
+        a = PowerTraceSimulator(tiny_seq).trace(16, stimulus_seed=7)
+        b = PowerTraceSimulator(tiny_seq).trace(16, stimulus_seed=7)
+        assert a.samples_pj == b.samples_pj
+
+    def test_lut_energy_is_data_independent(self, tiny_comb):
+        """Two hybrids with different LUT configurations draw identical
+        energy under identical stimulus — the no-leakage property."""
+        h1 = tiny_comb.copy()
+        h1.replace_with_lut("t_and")
+        h2 = tiny_comb.copy()
+        h2.replace_with_lut("t_and")
+        h2.node("t_and").lut_config = 0b0110  # reprogram as XOR
+        # Isolate the LUT contribution: delete downstream consumers' effect
+        # by comparing only cycles — downstream gates may toggle differently,
+        # so instead compare single-LUT designs.
+        lut_only_1 = _single_lut_design(0b1000)
+        lut_only_2 = _single_lut_design(0b0110)
+        t1 = PowerTraceSimulator(lut_only_1).trace(64, stimulus_seed=3)
+        t2 = PowerTraceSimulator(lut_only_2).trace(64, stimulus_seed=3)
+        assert t1.samples_pj == t2.samples_pj
+
+
+def _single_lut_design(config: int) -> Netlist:
+    n = Netlist("lut_only")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("y", GateType.LUT, ["a", "b"], lut_config=config)
+    n.add_output("y")
+    return n
+
+
+def _xor_tree(style: str) -> Netlist:
+    """An 4-input XOR tree, as CMOS gates or as programmed LUTs."""
+    n = Netlist(f"xortree_{style}")
+    for pi in ("a", "b", "c", "d"):
+        n.add_input(pi)
+    n.add_gate("x1", GateType.XOR, ["a", "b"])
+    n.add_gate("x2", GateType.XOR, ["c", "d"])
+    n.add_gate("y", GateType.XOR, ["x1", "x2"])
+    n.add_output("y")
+    if style == "stt":
+        for g in ("x1", "x2", "y"):
+            n.replace_with_lut(g)
+    return n
+
+
+class TestCorrelationAttack:
+    def test_cmos_implementation_leaks(self):
+        """Per-cycle CMOS energy correlates with internal toggling."""
+        report = correlation_attack(_xor_tree("cmos"), "x1", cycles=512, seed=2)
+        assert report.cycles == 512
+        assert report.abs_correlation > 0.15
+
+    def test_stt_implementation_leaks_less(self):
+        cmos_report, stt_report = compare_leakage(
+            _xor_tree("cmos"), _xor_tree("stt"), "x1", cycles=512, seed=2
+        )
+        assert stt_report.abs_correlation < cmos_report.abs_correlation
+
+    def test_noise_reduces_leakage(self):
+        clean = correlation_attack(_xor_tree("cmos"), "x1", cycles=512, seed=2)
+        noisy = correlation_attack(
+            _xor_tree("cmos"), "x1", cycles=512, noise_pj=1.0, seed=2
+        )
+        assert noisy.abs_correlation < clean.abs_correlation + 0.05

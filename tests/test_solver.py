@@ -1,0 +1,204 @@
+"""Tests for the CDCL SAT solver, including differential tests vs. brute
+force on random formulas."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import Cnf, Solver, luby, solve_cnf
+
+
+def brute_force_sat(num_vars: int, clauses) -> bool:
+    for assignment in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                (lit > 0) == bool((assignment >> (abs(lit) - 1)) & 1)
+                for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def model_satisfies(model, clauses) -> bool:
+    return all(
+        any((lit > 0) == model[abs(lit)] for lit in clause) for clause in clauses
+    )
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve()
+        assert s.model()[1] is True
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve()
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert not s.add_clause([])
+        assert not s.solve()
+
+    def test_tautology_dropped(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve()
+
+    def test_implication_chain(self):
+        s = Solver()
+        for i in range(1, 50):
+            s.add_clause([-i, i + 1])
+        s.add_clause([1])
+        assert s.solve()
+        model = s.model()
+        assert all(model[i] for i in range(1, 51))
+
+    def test_value_accessor(self):
+        s = Solver()
+        s.add_clause([2])
+        s.solve()
+        assert s.value(2) is True
+
+
+class TestStructured:
+    def test_pigeonhole_unsat(self):
+        cnf = Cnf()
+        pigeons, holes = 5, 4
+        var = {
+            (p, h): cnf.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            cnf.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solve_cnf(cnf) is None
+
+    def test_php_sat_when_enough_holes(self):
+        cnf = Cnf()
+        var = {(p, h): cnf.new_var() for p in range(4) for h in range(4)}
+        for p in range(4):
+            cnf.add_clause([var[(p, h)] for h in range(4)])
+        for h in range(4):
+            for p1, p2 in itertools.combinations(range(4), 2):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solve_cnf(cnf) is not None
+
+    def test_xor_chain_parity(self):
+        """x1 ^ x2 ^ ... ^ x8 = 1 as CNF over pairwise aux chain."""
+        cnf = Cnf(8)
+        prev = 1
+        for i in range(2, 9):
+            out = cnf.new_var()
+            a, b = prev, i
+            cnf.add_clauses(
+                [[-out, a, b], [-out, -a, -b], [out, -a, b], [out, a, -b]]
+            )
+            prev = out
+        cnf.add_clause([prev])
+        model = solve_cnf(cnf)
+        assert model is not None
+        parity = sum(model[i] for i in range(1, 9)) % 2
+        assert parity == 1
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            num_vars = rng.randint(4, 10)
+            num_clauses = rng.randint(4, 50)
+            clauses = []
+            solver = Solver()
+            for _ in range(num_clauses):
+                width = rng.choice([2, 3, 3, 4])
+                chosen = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+                clause = [v if rng.random() < 0.5 else -v for v in chosen]
+                clauses.append(clause)
+                solver.add_clause(clause)
+            got = solver.solve()
+            assert got == brute_force_sat(num_vars, clauses)
+            if got:
+                assert model_satisfies(solver.model(), clauses)
+
+
+class TestAssumptionsAndIncremental:
+    def test_assumptions_restrict(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([-1])
+        assert s.model()[2] is True
+        assert not s.solve([-1, -2])
+        assert s.solve()  # solver is reusable after assumption failure
+
+    def test_assumption_of_fixed_var(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve([1])
+        assert not s.solve([-1])
+
+    def test_incremental_clauses(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve()
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert not s.solve()
+
+    def test_clauses_added_after_sat_model_read(self):
+        s = Solver()
+        s.add_clause([1, 2, 3])
+        assert s.solve()
+        blocked = [-v if b else v for v, b in s.model().items()]
+        s.add_clause(blocked)  # block this model
+        # Still satisfiable: 7 assignments remained.
+        assert s.solve()
+
+    def test_model_enumeration_count(self):
+        """Blocking-clause enumeration must find exactly the 7 models of
+        (a | b | c)."""
+        s = Solver()
+        s.add_clause([1, 2, 3])
+        count = 0
+        while s.solve() and count < 20:
+            count += 1
+            model = s.model()
+            s.add_clause([-v if model[v] else v for v in (1, 2, 3)])
+        assert count == 7
+
+    def test_stats_populated(self):
+        s = Solver()
+        rng = random.Random(0)
+        for _ in range(120):
+            clause = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 13), 3)
+            ]
+            s.add_clause(clause)
+        s.solve()
+        assert s.stats["propagations"] > 0

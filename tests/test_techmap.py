@@ -1,0 +1,111 @@
+"""Tests for fan-in decomposition and NAND mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    Netlist,
+    NetlistError,
+    decompose_to_max_fanin,
+    fanin_histogram,
+    map_to_nand,
+)
+from repro.sat import check_equivalence
+
+
+def wide_gate_circuit() -> Netlist:
+    n = Netlist("wide")
+    for i in range(6):
+        n.add_input(f"i{i}")
+    n.add_gate("w_and", GateType.AND, [f"i{k}" for k in range(6)])
+    n.add_gate("w_nand", GateType.NAND, [f"i{k}" for k in range(5)])
+    n.add_gate("w_nor", GateType.NOR, [f"i{k}" for k in range(4)])
+    n.add_gate("w_xnor", GateType.XNOR, [f"i{k}" for k in range(3)])
+    for out in ("w_and", "w_nand", "w_nor", "w_xnor"):
+        n.add_output(out)
+    return n
+
+
+class TestDecompose:
+    def test_max_fanin_respected(self):
+        n = wide_gate_circuit()
+        created = decompose_to_max_fanin(n, max_fanin=2)
+        assert created > 0
+        histogram = fanin_histogram(n)
+        assert all(k <= 2 for k in histogram)
+
+    def test_function_preserved(self):
+        original = wide_gate_circuit()
+        mapped = wide_gate_circuit()
+        decompose_to_max_fanin(mapped, max_fanin=2)
+        assert check_equivalence(original, mapped).equivalent
+
+    def test_three_input_target(self):
+        original = wide_gate_circuit()
+        mapped = wide_gate_circuit()
+        decompose_to_max_fanin(mapped, max_fanin=3)
+        assert all(k <= 3 for k in fanin_histogram(mapped))
+        assert check_equivalence(original, mapped).equivalent
+
+    def test_narrow_gates_untouched(self, tiny_comb):
+        before = [(_n.name, tuple(_n.fanin)) for _n in tiny_comb]
+        assert decompose_to_max_fanin(tiny_comb, max_fanin=2) == 0
+        assert [(_n.name, tuple(_n.fanin)) for _n in tiny_comb] == before
+
+    def test_bad_fanin_rejected(self, tiny_comb):
+        with pytest.raises(NetlistError):
+            decompose_to_max_fanin(tiny_comb, max_fanin=1)
+
+    def test_inversion_stays_at_root(self):
+        n = Netlist()
+        for i in range(4):
+            n.add_input(f"i{i}")
+        n.add_gate("y", GateType.NAND, [f"i{k}" for k in range(4)])
+        n.add_output("y")
+        decompose_to_max_fanin(n, max_fanin=2)
+        assert n.node("y").gate_type is GateType.NAND
+        for name in n.gates:
+            if name != "y":
+                assert n.node(name).gate_type is GateType.AND
+
+
+class TestNandMapping:
+    def test_function_preserved(self, tiny_comb):
+        original = tiny_comb.copy()
+        map_to_nand(tiny_comb)
+        assert check_equivalence(original, tiny_comb).equivalent
+
+    def test_only_nand_and_not_remain(self, tiny_comb):
+        map_to_nand(tiny_comb)
+        for node in tiny_comb:
+            if node.is_combinational:
+                assert node.gate_type in (GateType.NAND, GateType.NOT)
+
+    def test_wide_gates_rejected(self):
+        n = wide_gate_circuit()
+        with pytest.raises(NetlistError, match="decompose first"):
+            map_to_nand(n)
+
+    def test_decompose_then_map_pipeline(self, s27):
+        original = s27.copy()
+        work = s27.copy("mapped")
+        decompose_to_max_fanin(work, max_fanin=2)
+        map_to_nand(work)
+        assert check_equivalence(original, work).equivalent
+        for node in work:
+            if node.is_combinational:
+                assert node.gate_type in (GateType.NAND, GateType.NOT)
+
+    def test_luts_and_dffs_untouched(self, tiny_seq):
+        tiny_seq.replace_with_lut("m")
+        map_to_nand(tiny_seq)
+        assert tiny_seq.node("m").gate_type is GateType.LUT
+        assert tiny_seq.node("reg1").gate_type is GateType.DFF
+
+
+class TestHistogram:
+    def test_counts(self, tiny_comb):
+        histogram = fanin_histogram(tiny_comb)
+        assert histogram == {2: 3, 1: 1}

@@ -1,0 +1,139 @@
+"""Tests for netlist editing: LUT replacement, decoys, absorption, cones."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    Netlist,
+    NetlistError,
+    absorb_fanin_gate,
+    count_replaced,
+    extract_cone,
+    immediate_neighbours,
+    replace_gates_with_luts,
+    widen_lut_with_decoys,
+)
+from repro.sim import CombinationalSimulator, exhaustive_input_words
+
+
+def outputs_over_all_inputs(netlist: Netlist) -> dict:
+    """Exhaustive output words (over PIs; state fixed at zero)."""
+    sim = CombinationalSimulator(netlist)
+    words = exhaustive_input_words(netlist)
+    width = 1 << len(netlist.inputs)
+    values = sim.evaluate(words, width=width)
+    mask = (1 << width) - 1
+    return {po: values[po] & mask for po in netlist.outputs}
+
+
+class TestReplaceGates:
+    def test_replaces_and_programs(self, tiny_comb):
+        before = outputs_over_all_inputs(tiny_comb)
+        replaced = replace_gates_with_luts(tiny_comb, ["t_and", "y2"])
+        assert set(replaced) == {"t_and", "y2"}
+        assert count_replaced(tiny_comb) == 2
+        assert outputs_over_all_inputs(tiny_comb) == before
+
+    def test_skips_non_gates_and_existing_luts(self, tiny_comb):
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        replaced = replace_gates_with_luts(tiny_comb, ["a", "t_and", "y1"])
+        assert replaced == ["y1"]
+
+    def test_unprogrammed_mode(self, tiny_comb):
+        replace_gates_with_luts(tiny_comb, ["y1"], program=False)
+        assert tiny_comb.node("y1").lut_config is None
+
+
+class TestDecoys:
+    def test_decoy_preserves_function(self, tiny_comb, rng):
+        before = outputs_over_all_inputs(tiny_comb)
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        decoys = widen_lut_with_decoys(tiny_comb, "t_and", 1, rng)
+        assert len(decoys) == 1
+        node = tiny_comb.node("t_and")
+        assert node.n_inputs == 3
+        assert outputs_over_all_inputs(tiny_comb) == before
+
+    def test_decoy_avoids_loops(self, tiny_comb, rng):
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        decoys = widen_lut_with_decoys(tiny_comb, "t_and", 2, rng)
+        # y1 is in t_and's transitive fan-out; it must never be a decoy.
+        assert "y1" not in decoys
+
+    def test_decoy_on_non_lut_rejected(self, tiny_comb, rng):
+        with pytest.raises(NetlistError, match="not a LUT"):
+            widen_lut_with_decoys(tiny_comb, "t_and", 1, rng)
+
+    def test_decoy_width_limit(self, tiny_comb, rng):
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        with pytest.raises(NetlistError, match="8-input"):
+            widen_lut_with_decoys(tiny_comb, "t_and", 7, rng)
+
+    def test_decoy_exhausted_candidates(self, rng):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("y", GateType.AND, ["a", "b"])
+        n.add_output("y")
+        n.replace_with_lut("y")
+        with pytest.raises(NetlistError, match="decoy candidates"):
+            widen_lut_with_decoys(n, "y", 2, rng)
+
+
+class TestAbsorb:
+    def test_absorb_preserves_function(self, tiny_comb):
+        before = outputs_over_all_inputs(tiny_comb)
+        replace_gates_with_luts(tiny_comb, ["y1"])
+        absorbed = absorb_fanin_gate(tiny_comb, "y1", 0)
+        assert absorbed == "t_and"
+        assert "t_and" not in tiny_comb
+        node = tiny_comb.node("y1")
+        assert node.n_inputs == 3
+        assert outputs_over_all_inputs(tiny_comb) == before
+        assert node.attrs["absorbed"] == ["t_and"]
+
+    def test_absorb_multi_fanout_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("shared", GateType.AND, ["a", "b"])
+        n.add_gate("y1", GateType.NOT, ["shared"])
+        n.add_gate("y2", GateType.BUF, ["shared"])
+        n.add_output("y1")
+        n.add_output("y2")
+        n.replace_with_lut("y1")
+        with pytest.raises(NetlistError, match="fan-out"):
+            absorb_fanin_gate(n, "y1", 0)
+
+    def test_absorb_startpoint_rejected(self, tiny_comb):
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        with pytest.raises(NetlistError, match="cannot absorb"):
+            absorb_fanin_gate(tiny_comb, "t_and", 0)  # pin 0 is input 'a'
+
+
+class TestNeighbours:
+    def test_immediate_neighbours(self, tiny_comb):
+        assert set(immediate_neighbours(tiny_comb, "t_and")) == {"y1"}
+        assert set(immediate_neighbours(tiny_comb, "t_or")) == {"y2"}
+        assert set(immediate_neighbours(tiny_comb, "y1")) == {"t_and"}
+
+    def test_neighbours_exclude_inputs_and_ffs(self, tiny_seq):
+        assert set(immediate_neighbours(tiny_seq, "x")) == set()
+        assert set(immediate_neighbours(tiny_seq, "m")) == set()
+
+
+class TestExtractCone:
+    def test_cone_of_combinational_output(self, tiny_seq):
+        cone = extract_cone(tiny_seq, ["m"], name="cone")
+        assert set(cone.inputs) == {"reg1", "b"}
+        assert cone.outputs == ["m"]
+        cone.validate()
+
+    def test_cone_preserves_lut_config(self, tiny_comb):
+        replace_gates_with_luts(tiny_comb, ["t_and"])
+        cone = extract_cone(tiny_comb, ["y1"])
+        assert cone.node("t_and").lut_config == 0b1000

@@ -1,0 +1,109 @@
+"""Tests for the structural lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    Netlist,
+    NetlistError,
+    Severity,
+    assert_valid,
+    validate_netlist,
+)
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+class TestValidate:
+    def test_clean_circuit(self, s27):
+        issues = validate_netlist(s27)
+        assert not [i for i in issues if i.severity is Severity.ERROR]
+
+    def test_undriven_net(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("g", GateType.NOT, ["ghost"])
+        n.add_output("g")
+        assert "undriven-net" in codes(validate_netlist(n))
+
+    def test_undriven_output(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_output("nothing")
+        assert "undriven-output" in codes(validate_netlist(n))
+
+    def test_no_outputs_warning(self):
+        n = Netlist()
+        n.add_input("a")
+        issues = validate_netlist(n)
+        assert "no-outputs" in codes(issues)
+        assert_valid(n)  # warnings do not raise
+
+    def test_combinational_loop(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("x", GateType.AND, ["a", "y"])
+        n.add_gate("y", GateType.NOT, ["x"])
+        n.add_output("x")
+        assert "combinational-loop" in codes(validate_netlist(n))
+
+    def test_floating_net_warning(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("used", GateType.NOT, ["a"])
+        n.add_gate("float", GateType.BUF, ["a"])
+        n.add_output("used")
+        issues = validate_netlist(n)
+        assert "floating-net" in codes(issues)
+        assert all(
+            i.severity is Severity.WARNING
+            for i in issues
+            if i.code == "floating-net"
+        )
+
+    def test_unused_input_warning(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("dangling")
+        n.add_gate("y", GateType.NOT, ["a"])
+        n.add_output("y")
+        assert "unused-input" in codes(validate_netlist(n))
+
+    def test_duplicate_pin_warning(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("y", GateType.AND, ["a", "a"])
+        n.add_output("y")
+        assert "duplicate-pin" in codes(validate_netlist(n))
+
+    def test_unprogrammed_lut_policy(self, tiny_comb):
+        tiny_comb.replace_with_lut("t_and", program=False)
+        lenient = validate_netlist(tiny_comb, allow_unprogrammed_luts=True)
+        strict = validate_netlist(tiny_comb, allow_unprogrammed_luts=False)
+        assert any(
+            i.code == "unprogrammed-lut" and i.severity is Severity.WARNING
+            for i in lenient
+        )
+        assert any(
+            i.code == "unprogrammed-lut" and i.severity is Severity.ERROR
+            for i in strict
+        )
+        with pytest.raises(NetlistError):
+            assert_valid(tiny_comb, allow_unprogrammed_luts=False)
+
+    def test_oversized_config(self, tiny_comb):
+        tiny_comb.replace_with_lut("t_and")
+        tiny_comb.node("t_and").lut_config = 0x1F  # 5 bits for a 2-input LUT
+        assert "oversized-config" in codes(validate_netlist(tiny_comb))
+
+    def test_issue_str(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_output("missing")
+        issue = validate_netlist(n)[0]
+        assert "undriven-output" in str(issue)
+        assert "[error]" in str(issue)

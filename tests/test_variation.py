@@ -1,0 +1,76 @@
+"""Tests for Monte-Carlo variation/temperature timing analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import MonteCarloTiming, TimingAnalyzer, VariationModel
+from repro.netlist import replace_gates_with_luts
+
+
+class TestVariationModel:
+    def test_derating(self):
+        room = VariationModel(temp_c=25.0)
+        hot = VariationModel(temp_c=125.0)
+        assert room.cmos_derate() == pytest.approx(1.0)
+        assert hot.cmos_derate() > 1.1
+        assert hot.stt_derate() < hot.cmos_derate()
+
+    def test_no_derate_below_room(self):
+        cold = VariationModel(temp_c=0.0)
+        assert cold.cmos_derate() == 1.0
+
+
+class TestMonteCarlo:
+    def test_mean_tracks_nominal(self, tiny_comb):
+        mc = MonteCarloTiming(seed=1)
+        nominal = TimingAnalyzer().max_delay(tiny_comb)
+        report = mc.run(tiny_comb, samples=200)
+        assert report.mean_delay_ns == pytest.approx(nominal, rel=0.05)
+        assert report.sigma_ns > 0
+        assert report.worst_delay_ns >= report.mean_delay_ns
+
+    def test_deterministic_by_seed(self, tiny_comb):
+        a = MonteCarloTiming(seed=7).run(tiny_comb, samples=20)
+        b = MonteCarloTiming(seed=7).run(tiny_comb, samples=20)
+        assert a.mean_delay_ns == b.mean_delay_ns
+
+    def test_yield_monotone_in_clock(self, s27):
+        mc = MonteCarloTiming(seed=3)
+        nominal = TimingAnalyzer().max_delay(s27)
+        tight = mc.run(s27, samples=100, clock_period_ns=nominal * 0.9)
+        loose = MonteCarloTiming(seed=3).run(
+            s27, samples=100, clock_period_ns=nominal * 1.3
+        )
+        assert loose.timing_yield >= tight.timing_yield
+        assert loose.timing_yield > 0.9
+
+    def test_no_clock_no_yield(self, tiny_comb):
+        report = MonteCarloTiming(seed=1).run(tiny_comb, samples=10)
+        assert report.timing_yield is None
+
+    def test_temperature_hurts_cmos_more_than_hybrid(self, s27):
+        """The thermal-robustness argument: heating degrades the all-CMOS
+        design's mean delay by a larger factor than a LUT-rich hybrid."""
+        hybrid = s27.copy("hot_hybrid")
+        replace_gates_with_luts(hybrid, list(hybrid.gates))
+        hot = VariationModel(temp_c=150.0)
+        room = VariationModel(temp_c=25.0)
+
+        def mean_ratio(netlist):
+            cold = MonteCarloTiming(model=room, seed=5).run(netlist, samples=60)
+            warm = MonteCarloTiming(model=hot, seed=5).run(netlist, samples=60)
+            return warm.mean_delay_ns / cold.mean_delay_ns
+
+        assert mean_ratio(hybrid) < mean_ratio(s27)
+
+    def test_stt_delay_spread_is_tighter(self, s27):
+        """Relative sigma of the all-LUT hybrid ≤ the CMOS design's (MTJ
+        read sensing varies less than transistor Vth)."""
+        hybrid = s27.copy("mc_hybrid")
+        replace_gates_with_luts(hybrid, list(hybrid.gates))
+        cmos_rep = MonteCarloTiming(seed=9).run(s27, samples=150)
+        stt_rep = MonteCarloTiming(seed=9).run(hybrid, samples=150)
+        cmos_rel = cmos_rep.sigma_ns / cmos_rep.mean_delay_ns
+        stt_rel = stt_rep.sigma_ns / stt_rep.mean_delay_ns
+        assert stt_rel <= cmos_rel + 0.01

@@ -1,0 +1,73 @@
+"""Tests for the VCD waveform writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SequentialSimulator, VcdWriter, dump_vcd
+from repro.sim.vcd import _identifier
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(all(33 <= ord(c) <= 126 for c in s) for s in ids)
+
+
+class TestWriter:
+    def test_header_and_samples(self, tiny_seq, tmp_path):
+        path = tmp_path / "wave.vcd"
+        with VcdWriter(path, tiny_seq, nets=["x", "m", "out"]) as vcd:
+            sim = SequentialSimulator(tiny_seq)
+            for cycle, (a, b) in enumerate([(1, 0), (0, 1), (0, 0)]):
+                values = sim.step({"a": a, "b": b})
+                vcd.sample(cycle, values)
+        text = path.read_text()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module tinyseq $end" in text
+        assert text.count("$var wire 1 ") == 4  # clk + 3 nets
+        assert "$enddefinitions $end" in text
+        assert "#0" in text and "#2" in text
+
+    def test_only_changes_emitted(self, tiny_seq, tmp_path):
+        path = tmp_path / "w.vcd"
+        with VcdWriter(path, tiny_seq, nets=["out"]) as vcd:
+            sim = SequentialSimulator(tiny_seq)
+            for cycle in range(6):
+                values = sim.step({"a": 0, "b": 0})
+                vcd.sample(cycle, values)
+        text = path.read_text()
+        ident = vcd._ids["out"]
+        # 'out' is constant 0: exactly one value line for it.
+        value_lines = [
+            line
+            for line in text.splitlines()
+            if line in (f"0{ident}", f"1{ident}")
+        ]
+        assert len(value_lines) == 1
+
+    def test_unknown_net_rejected(self, tiny_seq, tmp_path):
+        with pytest.raises(KeyError):
+            VcdWriter(tmp_path / "x.vcd", tiny_seq, nets=["ghost"])
+
+    def test_sample_without_open_rejected(self, tiny_seq, tmp_path):
+        vcd = VcdWriter(tmp_path / "x.vcd", tiny_seq)
+        with pytest.raises(RuntimeError):
+            vcd.sample(0, {})
+
+
+class TestDumpVcd:
+    def test_one_shot(self, s27, tmp_path):
+        path = dump_vcd(s27, tmp_path / "s27.vcd", cycles=16, seed=1)
+        text = path.read_text()
+        assert "$var wire 1" in text
+        # 16 rising edges.
+        assert text.count("\n1!\n") == 16
+
+    def test_watch_subset(self, s27, tmp_path):
+        path = dump_vcd(
+            s27, tmp_path / "s.vcd", cycles=4, nets=["G17"], seed=1
+        )
+        text = path.read_text()
+        assert text.count("$var wire 1 ") == 2  # clk + G17

@@ -1,0 +1,91 @@
+"""Tests for the structural Verilog writer/reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import GateType, Netlist, verilog_io
+
+
+class TestWriter:
+    def test_module_structure(self, tiny_seq):
+        text = verilog_io.dumps(tiny_seq)
+        assert "module tinyseq" in text
+        assert "input a;" in text
+        assert "output out;" in text
+        assert "DFF" in text and ".CK(clk)" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_lut_cell_with_config(self, tiny_comb):
+        tiny_comb.replace_with_lut("t_and")
+        text = verilog_io.dumps(tiny_comb)
+        assert "STT_LUT2" in text
+        assert "config = 4'h8" in text
+
+    def test_foundry_view_has_no_config(self, tiny_comb):
+        tiny_comb.replace_with_lut("t_and")
+        text = verilog_io.dumps(tiny_comb, include_config=False)
+        assert "STT_LUT2" in text
+        assert "config" not in text
+
+    def test_primitive_gates(self, tiny_comb):
+        text = verilog_io.dumps(tiny_comb)
+        assert "and U" in text
+        assert "xor U" in text
+        assert "not U" in text
+
+
+class TestRoundTrip:
+    def test_comb_roundtrip(self, tiny_comb):
+        again = verilog_io.loads(verilog_io.dumps(tiny_comb), "tiny")
+        assert set(again.inputs) == set(tiny_comb.inputs)
+        assert set(again.outputs) == set(tiny_comb.outputs)
+        for node in tiny_comb:
+            clone = again.node(node.name)
+            assert clone.gate_type is node.gate_type
+            assert clone.fanin == node.fanin
+
+    def test_seq_roundtrip(self, tiny_seq):
+        again = verilog_io.loads(verilog_io.dumps(tiny_seq), "tinyseq")
+        assert again.node("reg1").gate_type is GateType.DFF
+        assert again.node("reg1").fanin == ["x"]
+
+    def test_lut_roundtrip(self, tiny_comb):
+        tiny_comb.replace_with_lut("y1")
+        again = verilog_io.loads(verilog_io.dumps(tiny_comb))
+        assert again.node("y1").gate_type is GateType.LUT
+        assert again.node("y1").lut_config == tiny_comb.node("y1").lut_config
+        assert again.node("y1").fanin == ["t_and", "c"]
+
+    def test_foundry_lut_roundtrip(self, tiny_comb):
+        tiny_comb.replace_with_lut("y1")
+        text = verilog_io.dumps(tiny_comb, include_config=False)
+        again = verilog_io.loads(text)
+        assert again.node("y1").lut_config is None
+
+    def test_file_io(self, tiny_seq, tmp_path):
+        path = tmp_path / "d.v"
+        verilog_io.dump(tiny_seq, path)
+        again = verilog_io.load(path)
+        assert again.name == "d"
+        assert len(again) == len(tiny_seq)
+
+    def test_s27_roundtrip(self, s27):
+        again = verilog_io.loads(verilog_io.dumps(s27), "s27")
+        assert len(again) == len(s27)
+        assert set(again.flip_flops) == set(s27.flip_flops)
+
+    def test_tie_cells_roundtrip(self):
+        n = Netlist("ties")
+        n.add_input("a")
+        n.add_gate("one", GateType.CONST1, [])
+        n.add_gate("zero", GateType.CONST0, [])
+        n.add_gate("y", GateType.AND, ["a", "one"])
+        n.add_gate("z", GateType.OR, ["a", "zero"])
+        n.add_output("y")
+        n.add_output("z")
+        text = verilog_io.dumps(n)
+        assert "TIE1" in text and "TIE0" in text
+        again = verilog_io.loads(text)
+        assert again.node("one").gate_type is GateType.CONST1
+        assert again.node("zero").gate_type is GateType.CONST0
