@@ -32,7 +32,12 @@ class OracleAccessError(RuntimeError):
 class ConfiguredOracle:
     """Query-counting simulation of the provisioned chip."""
 
-    def __init__(self, programmed: Netlist, scan: bool = True):
+    def __init__(
+        self,
+        programmed: Netlist,
+        scan: bool = True,
+        backend: Optional[str] = None,
+    ):
         for name in programmed.luts:
             if programmed.node(name).lut_config is None:
                 raise NetlistError(
@@ -44,7 +49,7 @@ class ConfiguredOracle:
         self.queries = 0
         self.test_clocks = 0
         self._depth = max(sequential_depth(programmed), 1)
-        self._comb = CombinationalSimulator(programmed)
+        self._comb = CombinationalSimulator(programmed, backend=backend)
 
     # ------------------------------------------------------------------
     # scan-mode access

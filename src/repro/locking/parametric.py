@@ -191,6 +191,8 @@ class ParametricSelection(SelectionAlgorithm):
                 node.gate_type = original_type
                 node.lut_config = None
                 node.attrs.pop("locked_from", None)
+            if undo:
+                netlist.touch_function()
 
     def describe_params(self) -> Dict[str, object]:
         params = super().describe_params()

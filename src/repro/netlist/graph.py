@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from .cache import memoized
 from .netlist import Netlist, NetlistError
 
 
@@ -23,12 +24,32 @@ class CombinationalLoopError(NetlistError):
     """Raised when the combinational view of a netlist contains a cycle."""
 
 
-def to_networkx(netlist: Netlist, cut_flip_flops: bool = False) -> nx.DiGraph:
-    """Build a :class:`networkx.DiGraph` of the netlist.
+def to_networkx(
+    netlist: Netlist, cut_flip_flops: bool = False, copy: bool = False
+) -> nx.DiGraph:
+    """A :class:`networkx.DiGraph` view of the netlist, memoized per
+    structure revision.
 
     Edges run driver → reader.  With ``cut_flip_flops=True`` the edges into
-    DFF D-pins are dropped, yielding the acyclic combinational view.
+    DFF D-pins are dropped, yielding the acyclic combinational view.  The
+    returned graph is a shared cached view — treat it as read-only, or pass
+    ``copy=True`` for a private mutable copy.
     """
+    key = "nx_cut" if cut_flip_flops else "nx_full"
+    compute = _build_networkx_cut if cut_flip_flops else _build_networkx_full
+    graph = memoized(netlist, key, compute)
+    return graph.copy() if copy else graph
+
+
+def _build_networkx_full(netlist: Netlist) -> nx.DiGraph:
+    return _build_networkx(netlist, cut_flip_flops=False)
+
+
+def _build_networkx_cut(netlist: Netlist) -> nx.DiGraph:
+    return _build_networkx(netlist, cut_flip_flops=True)
+
+
+def _build_networkx(netlist: Netlist, cut_flip_flops: bool) -> nx.DiGraph:
     graph = nx.DiGraph(name=netlist.name)
     for node in netlist:
         graph.add_node(node.name, gate_type=node.gate_type)
@@ -41,11 +62,32 @@ def to_networkx(netlist: Netlist, cut_flip_flops: bool = False) -> nx.DiGraph:
 
 
 def topological_order(netlist: Netlist) -> List[str]:
-    """Topological order of the combinational view (Kahn's algorithm).
+    """Topological order of the combinational view (Kahn's algorithm),
+    memoized per structure revision.
 
     INPUT and DFF nodes (the startpoints) come first.  Raises
     :class:`CombinationalLoopError` if combinational logic forms a cycle.
+    The returned list is a shared cached snapshot — do not mutate it.
     """
+    return memoized(netlist, "topo_order", _compute_topological_order)
+
+
+def combinational_order(netlist: Netlist) -> List[str]:
+    """Combinational gate/LUT names in topological order (startpoints
+    filtered out) — the evaluation schedule of the simulators, memoized
+    per structure revision.  Shared cached snapshot; do not mutate."""
+    return memoized(netlist, "comb_order", _compute_combinational_order)
+
+
+def _compute_combinational_order(netlist: Netlist) -> List[str]:
+    return [
+        name
+        for name in topological_order(netlist)
+        if netlist.node(name).is_combinational
+    ]
+
+
+def _compute_topological_order(netlist: Netlist) -> List[str]:
     indegree: Dict[str, int] = {}
     for node in netlist:
         if node.is_input or node.is_sequential:
@@ -75,7 +117,12 @@ def topological_order(netlist: Netlist) -> List[str]:
 
 def levelize(netlist: Netlist) -> Dict[str, int]:
     """Logic level of every net: startpoints are level 0, gates are
-    ``1 + max(level of fan-in)``."""
+    ``1 + max(level of fan-in)``.  Memoized per structure revision; the
+    returned dict is a shared cached snapshot — do not mutate."""
+    return memoized(netlist, "levels", _compute_levels)
+
+
+def _compute_levels(netlist: Netlist) -> Dict[str, int]:
     levels: Dict[str, int] = {}
     for name in topological_order(netlist):
         node = netlist.node(name)

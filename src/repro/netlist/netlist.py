@@ -124,6 +124,42 @@ class Netlist:
         self._nodes: Dict[str, Node] = {}
         self.outputs: List[str] = []
         self._fanout: Dict[str, Set[str]] = {}
+        self._structure_revision = 0
+        self._function_revision = 0
+
+    # ------------------------------------------------------------------
+    # mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def structure_revision(self) -> int:
+        """Counter bumped whenever the graph structure (node set, fan-in
+        wiring, outputs) changes.  :mod:`repro.netlist.cache` keys its
+        memoized topological order / levelization / networkx views on it."""
+        return self._structure_revision
+
+    @property
+    def function_revision(self) -> int:
+        """Counter bumped whenever the *boolean function* of the design may
+        have changed: every structural change, plus in-place gate-type
+        rewrites.  The compiled simulation backend
+        (:mod:`repro.sim.compiled`) keys its code cache on it.
+
+        Note: ``lut_config`` assignments deliberately do **not** bump this —
+        LUT configurations are runtime data to the compiled backend, so
+        attacks that sweep hypothesis configs never trigger recompilation.
+        """
+        return self._function_revision
+
+    def touch_structure(self) -> None:
+        """Record an out-of-band structural mutation (callers that edit
+        ``node.fanin`` / ``_fanout`` directly must call this)."""
+        self._structure_revision += 1
+        self._function_revision += 1
+
+    def touch_function(self) -> None:
+        """Record an out-of-band gate-function mutation (e.g. rewriting
+        ``node.gate_type`` in place without touching the wiring)."""
+        self._function_revision += 1
 
     # ------------------------------------------------------------------
     # construction
@@ -157,6 +193,7 @@ class Netlist:
         if name in self.outputs:
             raise NetlistError(f"duplicate output declaration {name!r}")
         self.outputs.append(name)
+        self.touch_structure()
 
     def _add(self, node: Node) -> Node:
         if node.name in self._nodes:
@@ -165,6 +202,7 @@ class Netlist:
         self._fanout.setdefault(node.name, set())
         for src in node.fanin:
             self._fanout.setdefault(src, set()).add(node.name)
+        self.touch_structure()
         return node
 
     # ------------------------------------------------------------------
@@ -253,6 +291,7 @@ class Netlist:
         node.attrs["locked_from"] = node.gate_type.value
         node.gate_type = GateType.LUT
         node.lut_config = mask if program else None
+        self.touch_function()
         return node
 
     def rewire_fanin(self, name: str, pin: int, new_src: str) -> None:
@@ -265,6 +304,7 @@ class Netlist:
         if old_src not in node.fanin:
             self._fanout.get(old_src, set()).discard(name)
         self._fanout.setdefault(new_src, set()).add(name)
+        self.touch_structure()
 
     def remove_node(self, name: str) -> None:
         """Remove node *name*; it must have no fan-out and not be an output."""
@@ -277,6 +317,7 @@ class Netlist:
             if src not in node.fanin[: node.fanin.index(src)]:
                 self._fanout.get(src, set()).discard(name)
         self._fanout.pop(name, None)
+        self.touch_structure()
 
     # ------------------------------------------------------------------
     # whole-netlist operations

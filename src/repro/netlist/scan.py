@@ -130,6 +130,7 @@ def disable_scan(netlist: Netlist) -> None:
         node.fanin = []
     if SCAN_OUT in netlist.outputs:
         netlist.outputs.remove(SCAN_OUT)
+    netlist.touch_structure()
     netlist.validate()
 
 

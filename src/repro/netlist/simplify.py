@@ -72,6 +72,7 @@ def propagate_constants(netlist: Netlist) -> int:
             node.fanin = new_fanin
             for src in new_fanin:
                 netlist._fanout.setdefault(src, set()).add(name)
+            netlist.touch_structure()
             folded += 1
             changed = True
     return folded

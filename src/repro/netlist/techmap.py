@@ -77,6 +77,7 @@ def decompose_to_max_fanin(netlist: Netlist, max_fanin: int = 2) -> int:
             node.fanin = sources
         for src in node.fanin:
             netlist._fanout.setdefault(src, set()).add(name)
+        netlist.touch_structure()
     netlist.validate()
     return created
 
@@ -151,6 +152,7 @@ def map_to_nand(netlist: Netlist) -> int:
             raise NetlistError(f"unhandled gate type {gt}")
         for src in node.fanin:
             netlist._fanout.setdefault(src, set()).add(name)
+        netlist.touch_structure()
     netlist.validate()
     return created
 

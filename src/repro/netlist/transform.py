@@ -105,6 +105,8 @@ def widen_lut_with_decoys(
         node.fanin.append(decoy)
         netlist._fanout.setdefault(decoy, set()).add(name)
     node.attrs["decoy_pins"] = node.attrs.get("decoy_pins", 0) + len(decoys)
+    if decoys:
+        netlist.touch_structure()
     return decoys
 
 
@@ -159,6 +161,7 @@ def absorb_fanin_gate(netlist: Netlist, lut_name: str, pin: int) -> str:
     for new_src in new_fanin:
         netlist._fanout.setdefault(new_src, set()).add(lut_name)
     lut.attrs["absorbed"] = list(lut.attrs.get("absorbed", [])) + [src_name]
+    netlist.touch_structure()
     netlist.remove_node(src_name)
     return src_name
 

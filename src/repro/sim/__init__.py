@@ -2,12 +2,15 @@
 simulation and ATPG-style justification/propagation."""
 
 from .logicsim import (
+    BACKENDS,
+    DEFAULT_BACKEND,
     CombinationalSimulator,
     exhaustive_input_words,
     pack,
     random_words,
     unpack,
 )
+from .compiled import CompiledProgram, compiled_source, get_program
 from .seqsim import SequentialSimulator, ToggleStats, functional_match
 from .faults import (
     CoverageReport,
@@ -27,7 +30,12 @@ from .justify import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "CombinationalSimulator",
+    "CompiledProgram",
+    "compiled_source",
+    "get_program",
     "exhaustive_input_words",
     "pack",
     "random_words",

@@ -1,0 +1,339 @@
+"""Compiled per-netlist simulation kernels.
+
+Every security number in the reproduction — brute-force/testing/ML attack
+query counts, the oracle, fault coverage, power-activity estimation — is
+bottlenecked on :meth:`repro.sim.logicsim.CombinationalSimulator.evaluate`.
+The interpreted engine pays, per gate per call: a node-dict lookup, a
+fan-in list build, and a gate-type dispatch chain.  This module removes
+all of it by *code generation*: for a given netlist it emits one
+straight-line Python function with a single local-variable assignment per
+gate in topological order, then ``compile()``\\ s it once.  Evaluating a
+pattern word is then a plain function call over local variables — no
+dictionaries, no dispatch, no per-gate allocation.
+
+Design points:
+
+* **Constant folding** — the truth table of a programmed LUT is folded at
+  codegen time: configurations matching a primitive function (after
+  pruning decoy don't-care pins) become the primitive expression
+  (``_v3 & _v7``), anything else becomes a precomputed OR of minterm (or
+  complemented maxterm) masks.
+* **Dynamic configurations** — LUTs that are *unprogrammed* at codegen
+  time have their configuration fetched from the node at call time, so
+  the attacks' hypothesis sweeps (which rewrite ``lut_config`` thousands
+  of times) never trigger a recompile.
+* **Safety under mutation** — a program is keyed on the netlist's
+  ``function_revision`` plus a snapshot of the folded configurations.  If
+  a folded configuration is rewritten after compilation, the program is
+  rebuilt once with *every* LUT demoted to dynamic, after which it stays
+  stable no matter how configurations churn.
+* **Bit-identical results** — masking mirrors the interpreter exactly
+  (inverting ops are ``x ^ mask``), and the word-parallel LUT fallback is
+  the interpreter's own helper, so ``compiled == interpreted`` bit for
+  bit.  ``tests/test_compiled_sim.py`` asserts this across randomized
+  netlists, overrides, and sequential runs.
+
+Overrides (fault injection / hypothesis pinning) are served by a second,
+lazily compiled variant whose per-gate assignment consults the override
+dict first — still far cheaper than the interpreter, and only built for
+netlists that actually get fault-simulated.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..netlist.gates import GateType, truth_table_to_type
+from ..netlist.graph import combinational_order
+from ..netlist.netlist import Netlist, NetlistError, Node
+
+#: Dynamic (runtime-config) LUTs up to this fan-in are unrolled inline as a
+#: branch-free select over minterm masks; wider ones call the shared
+#: word-parallel helper to bound generated-code size.
+_DYNAMIC_UNROLL_MAX_INPUTS = 3
+
+_EMPTY: Dict[str, int] = {}
+
+
+def _prune_dont_care_pins(config: int, n_inputs: int) -> Tuple[int, List[int]]:
+    """Drop LUT pins the truth table ignores (decoy inputs).
+
+    Returns ``(reduced_config, essential_pins)`` where *essential_pins*
+    are original pin indices in order.  A constant table reduces to zero
+    pins and a 1-bit config.
+    """
+    pins = list(range(n_inputs))
+    changed = True
+    while changed:
+        changed = False
+        for j in range(len(pins)):
+            k = len(pins)
+            low = high = 0
+            low_i = high_i = 0
+            for row in range(1 << k):
+                bit = (config >> row) & 1
+                if (row >> j) & 1:
+                    high |= bit << high_i
+                    high_i += 1
+                else:
+                    low |= bit << low_i
+                    low_i += 1
+            if low == high:
+                config = low
+                pins.pop(j)
+                changed = True
+                break
+    return config, pins
+
+
+def _minterm_expr(row: int, pin_vars: List[str]) -> str:
+    """The word-parallel mask expression selecting truth-table row *row*."""
+    literals = []
+    for pin, var in enumerate(pin_vars):
+        if (row >> pin) & 1:
+            literals.append(var)
+        else:
+            literals.append(f"({var} ^ _m)")
+    return " & ".join(literals)
+
+
+def _primitive_expr(gate_type: GateType, operands: List[str]) -> str:
+    """Expression for a primitive gate over already-masked word operands.
+
+    Inverting types XOR with the mask, which both complements and masks in
+    one operation — bit-identical to the interpreter's ``~x & mask``.
+    """
+    if gate_type is GateType.CONST0:
+        return "0"
+    if gate_type is GateType.CONST1:
+        return "_m"
+    if gate_type in (GateType.BUF, GateType.DFF):
+        return operands[0]
+    if gate_type is GateType.NOT:
+        return f"{operands[0]} ^ _m"
+    if gate_type is GateType.AND:
+        return " & ".join(operands)
+    if gate_type is GateType.NAND:
+        return f"({' & '.join(operands)}) ^ _m"
+    if gate_type is GateType.OR:
+        return " | ".join(operands)
+    if gate_type is GateType.NOR:
+        return f"({' | '.join(operands)}) ^ _m"
+    if gate_type is GateType.XOR:
+        return " ^ ".join(operands)
+    if gate_type is GateType.XNOR:
+        return f"({' ^ '.join(operands)}) ^ _m"
+    raise NetlistError(f"gate type {gate_type} has no boolean function")
+
+
+def _folded_lut_expr(config: int, pin_vars: List[str]) -> str:
+    """Expression for a LUT whose configuration is a codegen-time constant."""
+    n = len(pin_vars)
+    config &= (1 << (1 << n)) - 1
+    reduced, pins = _prune_dont_care_pins(config, n)
+    vars_ = [pin_vars[p] for p in pins]
+    k = len(pins)
+    rows = 1 << k
+    if k == 0:
+        return "_m" if reduced & 1 else "0"
+    primitive = truth_table_to_type(reduced, k)
+    if primitive is not None:
+        return _primitive_expr(primitive, vars_)
+    set_rows = [r for r in range(rows) if (reduced >> r) & 1]
+    if len(set_rows) * 2 <= rows:
+        return " | ".join(f"({_minterm_expr(r, vars_)})" for r in set_rows)
+    # Dense tables: complement the OR of the *unset* rows.  Minterm masks
+    # partition the pattern word (each pattern selects exactly one row), so
+    # this is exact even with duplicate fan-in nets.
+    clear_rows = [r for r in range(rows) if not (reduced >> r) & 1]
+    inner = " | ".join(f"({_minterm_expr(r, vars_)})" for r in clear_rows)
+    return f"({inner}) ^ _m"
+
+
+def _dynamic_lut_lines(
+    target: str, cfg_var: str, name: str, pin_vars: List[str]
+) -> List[str]:
+    """Assignment lines for a LUT whose configuration is fetched at runtime.
+
+    ``-(bit)`` is 0 or -1 (all ones), so ``-(bit) & minterm`` keeps or
+    drops each row branch-free; the minterm operands are masked, hence the
+    result is masked.
+    """
+    lines = [
+        f"if {cfg_var} is None:",
+        f"    raise _err({f'cannot simulate unprogrammed LUT {name!r}'!r})",
+    ]
+    n = len(pin_vars)
+    if n <= _DYNAMIC_UNROLL_MAX_INPUTS:
+        terms = []
+        for row in range(1 << n):
+            sel = f"{cfg_var} & 1" if row == 0 else f"({cfg_var} >> {row}) & 1"
+            terms.append(f"(-({sel}) & ({_minterm_expr(row, pin_vars)}))")
+        lines.append(f"{target} = {' | '.join(terms)}")
+    else:
+        operands = ", ".join(pin_vars)
+        lines.append(f"{target} = _lut({cfg_var}, ({operands},), _m)")
+    return lines
+
+
+class CompiledProgram:
+    """One netlist's generated evaluation kernel(s) plus validity metadata."""
+
+    def __init__(self, netlist: Netlist, force_dynamic: bool = False):
+        self.function_revision = netlist.function_revision
+        self.force_dynamic = force_dynamic
+        self._order = combinational_order(netlist)
+        self._pis = list(netlist.inputs)
+        self._ffs = list(netlist.flip_flops)
+        self._var: Dict[str, str] = {}
+        for i, name in enumerate(self._pis + self._ffs + self._order):
+            self._var[name] = f"_v{i}"
+        # Classify LUTs: unprogrammed ones (and, after a config rewrite is
+        # observed, all of them) read their configuration per call.
+        self.dynamic_nodes: List[Node] = []
+        self._dynamic_index: Dict[str, int] = {}
+        self.folded: List[Tuple[Node, Optional[int]]] = []
+        for name in self._order:
+            node = netlist.node(name)
+            if node.gate_type is not GateType.LUT:
+                continue
+            if force_dynamic or node.lut_config is None:
+                self._dynamic_index[name] = len(self.dynamic_nodes)
+                self.dynamic_nodes.append(node)
+            else:
+                self.folded.append((node, node.lut_config))
+        self._nodes = {name: netlist.node(name) for name in self._order}
+        self.source = self._generate(with_overrides=False)
+        self._fast = self._compile(self.source, "_run", netlist.name)
+        self.override_source: Optional[str] = None
+        self._ov_fn = None
+        self._netlist_name = netlist.name
+
+    # ------------------------------------------------------------------
+    # codegen
+    # ------------------------------------------------------------------
+    def _generate(self, with_overrides: bool) -> str:
+        lines: List[str] = []
+        add = lines.append
+        args = "_in, _st, _m, _cfg" + (", _ov" if with_overrides else "")
+        add(f"def {'_run_ov' if with_overrides else '_run'}({args}):")
+        if self._pis:
+            add("    try:")
+            for pi in self._pis:
+                add(f"        {self._var[pi]} = _in[{pi!r}] & _m")
+            add("    except KeyError as _e:")
+            add(
+                "        raise _err('missing value for primary input '"
+                " + repr(_e.args[0]))"
+            )
+        for ff in self._ffs:
+            add(f"    {self._var[ff]} = _st.get({ff!r}, 0) & _m")
+        if with_overrides:
+            for name in self._pis + self._ffs:
+                add(f"    _t = _ov.get({name!r})")
+                add("    if _t is not None:")
+                add(f"        {self._var[name]} = _t & _m")
+        for name in self._order:
+            gate_lines = self._gate_lines(name)
+            if with_overrides:
+                add(f"    _t = _ov.get({name!r})")
+                add("    if _t is not None:")
+                add(f"        {self._var[name]} = _t & _m")
+                add("    else:")
+                for line in gate_lines:
+                    add(f"        {line}")
+            else:
+                for line in gate_lines:
+                    add(f"    {line}")
+        items = ", ".join(
+            f"{name!r}: {var}" for name, var in self._var.items()
+        )
+        add(f"    return {{{items}}}")
+        return "\n".join(lines) + "\n"
+
+    def _gate_lines(self, name: str) -> List[str]:
+        node = self._nodes[name]
+        target = self._var[name]
+        pin_vars = [self._var[src] for src in node.fanin]
+        if node.gate_type is GateType.LUT:
+            idx = self._dynamic_index.get(name)
+            if idx is None:
+                assert node.lut_config is not None
+                return [f"{target} = {_folded_lut_expr(node.lut_config, pin_vars)}"]
+            return _dynamic_lut_lines(target, f"_cfg[{idx}]", name, pin_vars)
+        return [f"{target} = {_primitive_expr(node.gate_type, pin_vars)}"]
+
+    @staticmethod
+    def _compile(source: str, entry: str, netlist_name: str):
+        from .logicsim import _eval_lut_word
+
+        namespace: Dict[str, object] = {
+            "_err": NetlistError,
+            "_lut": _eval_lut_word,
+        }
+        code = compile(source, f"<compiled-sim:{netlist_name}>", "exec")
+        exec(code, namespace)
+        return namespace[entry]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def is_valid_for(self, netlist: Netlist) -> bool:
+        if netlist.function_revision != self.function_revision:
+            return False
+        for node, config in self.folded:
+            if node.lut_config != config:
+                return False
+        return True
+
+    def evaluate(
+        self,
+        inputs: Mapping[str, int],
+        state: Optional[Mapping[str, int]] = None,
+        width: int = 1,
+        overrides: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        mask = (1 << width) - 1
+        cfg = [node.lut_config for node in self.dynamic_nodes]
+        if overrides:
+            if self._ov_fn is None:
+                self.override_source = self._generate(with_overrides=True)
+                self._ov_fn = self._compile(
+                    self.override_source, "_run_ov", self._netlist_name
+                )
+            return self._ov_fn(inputs, state or _EMPTY, mask, cfg, overrides)
+        return self._fast(inputs, state or _EMPTY, mask, cfg)
+
+
+_PROGRAMS: "weakref.WeakKeyDictionary[Netlist, CompiledProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_program(netlist: Netlist) -> CompiledProgram:
+    """The (cached) compiled kernel for *netlist*, rebuilt when stale.
+
+    A revision change rebuilds from scratch (folding programmed LUTs
+    again); a folded-configuration rewrite rebuilds once with every LUT
+    dynamic, so config-sweeping attacks settle after a single recompile.
+    """
+    program = _PROGRAMS.get(netlist)
+    if program is not None and program.is_valid_for(netlist):
+        return program
+    if (
+        program is not None
+        and program.function_revision == netlist.function_revision
+    ):
+        # Same structure/function epoch, but a folded config moved: the
+        # netlist's configurations are runtime data from now on.
+        program = CompiledProgram(netlist, force_dynamic=True)
+    else:
+        program = CompiledProgram(netlist)
+    _PROGRAMS[netlist] = program
+    return program
+
+
+def compiled_source(netlist: Netlist) -> str:
+    """The generated kernel source for *netlist* (debugging aid)."""
+    return get_program(netlist).source

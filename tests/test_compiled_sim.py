@@ -1,0 +1,275 @@
+"""Parity suite: the compiled backend must match the interpreter bit-exactly.
+
+Every test drives the same netlist through ``backend="interpreted"`` and
+``backend="compiled"`` and compares the full output dictionaries.  Netlists
+are randomised (generated circuits across several seeds), locked with
+programmed, unprogrammed and decoy-widened LUTs, and exercised with
+overrides, width sweeps, and multi-cycle sequential runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import load_benchmark
+from repro.circuits.generator import CircuitSpec, generate
+from repro.netlist import GateType, Netlist, NetlistError
+from repro.netlist.transform import (
+    replace_gates_with_luts,
+    widen_lut_with_decoys,
+)
+from repro.sim import (
+    BACKENDS,
+    CombinationalSimulator,
+    SequentialSimulator,
+    compiled_source,
+    exhaustive_input_words,
+    get_program,
+)
+
+
+def _lockable_gates(netlist: Netlist):
+    return [
+        g
+        for g in netlist.gates
+        if netlist.node(g).is_combinational
+        and not netlist.node(g).is_lut
+        and netlist.node(g).gate_type
+        not in (GateType.CONST0, GateType.CONST1)
+    ]
+
+
+def _assert_parity(netlist, trials=20, seed=0, overrides_from=()):
+    """Random inputs/state/width; both backends must agree exactly."""
+    rng = random.Random(seed)
+    interpreted = CombinationalSimulator(netlist, backend="interpreted")
+    compiled = CombinationalSimulator(netlist, backend="compiled")
+    overridable = list(overrides_from)
+    for trial in range(trials):
+        width = rng.choice([1, 3, 32, 64])
+        inputs = {pi: rng.getrandbits(width) for pi in netlist.inputs}
+        state = {ff: rng.getrandbits(width) for ff in netlist.flip_flops}
+        overrides = None
+        if overridable and trial % 3 == 0:
+            overrides = {
+                name: rng.getrandbits(width)
+                for name in rng.sample(
+                    overridable, rng.randint(1, len(overridable))
+                )
+            }
+        expected = interpreted.evaluate(inputs, state, width, overrides=overrides)
+        actual = compiled.evaluate(inputs, state, width, overrides=overrides)
+        assert actual == expected, f"trial {trial} (width {width}) diverged"
+
+
+class TestBackendSelection:
+    def test_backends_constant(self):
+        assert set(BACKENDS) == {"compiled", "interpreted"}
+
+    def test_unknown_backend_rejected(self, tiny_comb):
+        with pytest.raises(ValueError):
+            CombinationalSimulator(tiny_comb, backend="quantum")
+
+    def test_compiled_source_is_python(self, tiny_comb):
+        source = compiled_source(tiny_comb)
+        compile(source, "<test>", "exec")  # must be valid Python
+        assert "def _run" in source
+
+
+class TestPlainGateParity:
+    def test_tiny_exhaustive(self, tiny_comb):
+        words = exhaustive_input_words(tiny_comb)
+        width = 1 << len(tiny_comb.inputs)
+        a = CombinationalSimulator(tiny_comb, backend="interpreted").evaluate(
+            words, width=width
+        )
+        b = CombinationalSimulator(tiny_comb, backend="compiled").evaluate(
+            words, width=width
+        )
+        assert a == b
+
+    def test_s27(self, s27):
+        _assert_parity(s27, seed=1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_generated_circuits(self, seed):
+        spec = CircuitSpec(
+            name=f"parity{seed}",
+            n_inputs=6,
+            n_outputs=4,
+            n_flip_flops=5,
+            n_gates=60,
+            seed=seed,
+        )
+        _assert_parity(generate(spec), seed=seed)
+
+    def test_constants_and_buffers(self):
+        n = Netlist("consts")
+        n.add_input("a")
+        n.add_gate("one", GateType.CONST1, [])
+        n.add_gate("zero", GateType.CONST0, [])
+        n.add_gate("buf", GateType.BUF, ["a"])
+        n.add_gate("y", GateType.AND, ["one", "buf"])
+        n.add_gate("z", GateType.OR, ["zero", "a"])
+        for out in ("y", "z", "one", "zero"):
+            n.add_output(out)
+        _assert_parity(n, seed=5)
+
+    def test_duplicate_fanin_pins(self):
+        n = Netlist("dup")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("x", GateType.XOR, ["a", "a"])
+        n.add_gate("y", GateType.NAND, ["a", "b", "a"])
+        n.add_output("x")
+        n.add_output("y")
+        _assert_parity(n, seed=6)
+
+
+class TestLutParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_programmed_luts(self, seed):
+        rng = random.Random(seed)
+        spec = CircuitSpec(
+            name=f"lut{seed}",
+            n_inputs=6,
+            n_outputs=4,
+            n_flip_flops=4,
+            n_gates=50,
+            seed=seed,
+        )
+        netlist = generate(spec)
+        candidates = _lockable_gates(netlist)
+        picked = rng.sample(candidates, min(8, len(candidates)))
+        replace_gates_with_luts(netlist, picked, program=True)
+        _assert_parity(netlist, seed=seed, overrides_from=list(netlist.luts))
+
+    def test_decoy_widened_luts(self, s27):
+        rng = random.Random(9)
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:3], program=True)
+        for lut in list(s27.luts):
+            if s27.node(lut).n_inputs <= 6:
+                widen_lut_with_decoys(s27, lut, 2, rng)
+        _assert_parity(s27, seed=9, overrides_from=list(s27.luts))
+
+    def test_unprogrammed_lut_raises_on_both_backends(self, s27):
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:2], program=False)
+        inputs = {pi: 1 for pi in s27.inputs}
+        state = {ff: 0 for ff in s27.flip_flops}
+        for backend in BACKENDS:
+            sim = CombinationalSimulator(s27, backend=backend)
+            with pytest.raises(NetlistError, match="unprogrammed"):
+                sim.evaluate(inputs, state, width=2)
+
+    def test_unprogrammed_lut_with_override(self, s27):
+        rng = random.Random(3)
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:2], program=False)
+        unprogrammed = [
+            l for l in s27.luts if s27.node(l).lut_config is None
+        ]
+        inputs = {pi: rng.getrandbits(8) for pi in s27.inputs}
+        state = {ff: rng.getrandbits(8) for ff in s27.flip_flops}
+        overrides = {l: rng.getrandbits(8) for l in unprogrammed}
+        a = CombinationalSimulator(s27, backend="interpreted").evaluate(
+            inputs, state, 8, overrides=overrides
+        )
+        b = CombinationalSimulator(s27, backend="compiled").evaluate(
+            inputs, state, 8, overrides=overrides
+        )
+        assert a == b
+
+    def test_config_sweep_reuses_program(self, s27):
+        """ml_attack idiom: mutate lut_config between evaluates on one
+        simulator.  The compiled program must track the live config without
+        recompiling per sweep (and must stay correct)."""
+        rng = random.Random(4)
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:2], program=False)
+        luts = list(s27.luts)
+        for lut in luts:
+            node = s27.node(lut)
+            node.lut_config = rng.getrandbits(1 << node.n_inputs)
+        interpreted = CombinationalSimulator(s27, backend="interpreted")
+        compiled = CombinationalSimulator(s27, backend="compiled")
+        inputs = {pi: rng.getrandbits(16) for pi in s27.inputs}
+        state = {ff: rng.getrandbits(16) for ff in s27.flip_flops}
+        first = compiled.evaluate(inputs, state, 16)
+        assert first == interpreted.evaluate(inputs, state, 16)
+        program = None
+        for sweep in range(5):
+            for lut in luts:
+                node = s27.node(lut)
+                # XOR with 1 guarantees the configuration actually changes.
+                node.lut_config = node.lut_config ^ 1
+            assert compiled.evaluate(inputs, state, 16) == interpreted.evaluate(
+                inputs, state, 16
+            )
+            if sweep == 0:
+                # The first mismatch demotes the folded LUTs to dynamic —
+                # one rebuild, after which every sweep reuses the program.
+                program = get_program(s27)
+                assert program.force_dynamic
+        assert get_program(s27) is program, "sweeps after demotion must not recompile"
+
+
+class TestSequentialParity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_multi_cycle(self, seed):
+        rng = random.Random(seed)
+        spec = CircuitSpec(
+            name=f"seq{seed}",
+            n_inputs=5,
+            n_outputs=3,
+            n_flip_flops=6,
+            n_gates=40,
+            seed=seed,
+        )
+        netlist = generate(spec)
+        interpreted = SequentialSimulator(netlist, width=8, backend="interpreted")
+        compiled = SequentialSimulator(netlist, width=8, backend="compiled")
+        for cycle in range(20):
+            inputs = {pi: rng.getrandbits(8) for pi in netlist.inputs}
+            assert interpreted.step(inputs) == compiled.step(inputs), cycle
+            assert interpreted.state == compiled.state, cycle
+
+
+class TestErrorParity:
+    def test_missing_input(self, tiny_comb):
+        for backend in BACKENDS:
+            sim = CombinationalSimulator(tiny_comb, backend=backend)
+            with pytest.raises(NetlistError, match="primary input"):
+                sim.evaluate({"a": 1}, width=1)
+
+
+class TestRecompilation:
+    def test_structural_edit_recompiles(self, s27):
+        sim = CombinationalSimulator(s27, backend="compiled")
+        inputs = {pi: 1 for pi in s27.inputs}
+        state = {ff: 0 for ff in s27.flip_flops}
+        before = sim.evaluate(inputs, state, 1)
+        program = get_program(s27)
+        s27.add_gate("extra", GateType.NOT, [s27.inputs[0]])
+        s27.add_output("extra")
+        fresh = CombinationalSimulator(s27, backend="compiled")
+        after = fresh.evaluate(inputs, state, 1)
+        assert get_program(s27) is not program
+        assert "extra" in after
+        for name, value in before.items():
+            assert after[name] == value
+
+    def test_program_cached_across_simulators(self, s27):
+        """testing_attack builds a fresh simulator per justification call;
+        the program cache must make that free."""
+        CombinationalSimulator(s27, backend="compiled").evaluate(
+            {pi: 1 for pi in s27.inputs},
+            {ff: 0 for ff in s27.flip_flops},
+            1,
+        )
+        first = get_program(s27)
+        CombinationalSimulator(s27, backend="compiled").evaluate(
+            {pi: 0 for pi in s27.inputs},
+            {ff: 0 for ff in s27.flip_flops},
+            1,
+        )
+        assert get_program(s27) is first

@@ -43,6 +43,23 @@ class TestExhaustiveWords:
         with pytest.raises(NetlistError):
             exhaustive_input_words(n)
 
+    @pytest.mark.parametrize("n_inputs", list(range(1, 9)))
+    def test_closed_form_matches_bitwise_reference(self, n_inputs):
+        """Regression: the closed-form block pattern must equal the original
+        per-pattern bit assembly for every input count up to 8."""
+        netlist = Netlist()
+        for i in range(n_inputs):
+            netlist.add_input(f"i{i}")
+        width = 1 << n_inputs
+        reference = {}
+        for index, pi in enumerate(netlist.inputs):
+            word = 0
+            for pattern in range(width):
+                if (pattern >> index) & 1:
+                    word |= 1 << pattern
+            reference[pi] = word
+        assert exhaustive_input_words(netlist) == reference
+
 
 class TestCombinationalSimulator:
     def test_tiny_exhaustive(self, tiny_comb):

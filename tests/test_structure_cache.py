@@ -1,0 +1,192 @@
+"""Structure-cache behaviour: memoisation, and invalidation on mutation.
+
+The cache (``repro.netlist.cache``) keys every derived view on the netlist's
+``structure_revision``; any mutator — including the in-place editing passes
+in ``transform``/``techmap``/``simplify``/``scan`` — must bump the revision
+so stale topological orders or levelizations are never served.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits import load_benchmark
+from repro.netlist import GateType, Netlist
+from repro.netlist.cache import cached_keys, invalidate, memoized
+from repro.netlist.graph import (
+    combinational_order,
+    levelize,
+    to_networkx,
+    topological_order,
+)
+from repro.netlist.scan import disable_scan, insert_scan_chain
+from repro.netlist.simplify import propagate_constants
+from repro.netlist.techmap import decompose_to_max_fanin
+from repro.netlist.transform import (
+    absorb_fanin_gate,
+    replace_gates_with_luts,
+    widen_lut_with_decoys,
+)
+
+
+class TestMemoization:
+    def test_repeat_calls_share_object(self, s27):
+        assert topological_order(s27) is topological_order(s27)
+        assert combinational_order(s27) is combinational_order(s27)
+        assert levelize(s27) is levelize(s27)
+        assert to_networkx(s27) is to_networkx(s27)
+
+    def test_copy_flag_returns_private_graph(self, s27):
+        shared = to_networkx(s27)
+        private = to_networkx(s27, copy=True)
+        assert private is not shared
+        assert set(private.nodes) == set(shared.nodes)
+
+    def test_cached_keys_and_invalidate(self, s27):
+        topological_order(s27)
+        levelize(s27)
+        assert {"topo_order", "levels"} <= set(cached_keys(s27))
+        invalidate(s27)
+        assert cached_keys(s27) == []
+
+    def test_memoized_recomputes_only_on_revision_change(self, s27):
+        calls = []
+
+        def compute(netlist):
+            calls.append(netlist.structure_revision)
+            return object()
+
+        first = memoized(s27, "probe", compute)
+        assert memoized(s27, "probe", compute) is first
+        assert len(calls) == 1
+        s27.touch_structure()
+        second = memoized(s27, "probe", compute)
+        assert second is not first
+        assert len(calls) == 2
+
+
+class TestRevisionCounters:
+    def test_add_gate_bumps_structure(self, tiny_comb):
+        before = tiny_comb.structure_revision
+        tiny_comb.add_gate("extra", GateType.NOT, ["a"])
+        assert tiny_comb.structure_revision > before
+
+    def test_rewire_bumps_structure(self, tiny_comb):
+        before = tiny_comb.structure_revision
+        tiny_comb.rewire_fanin("y1", 1, "b")
+        assert tiny_comb.structure_revision > before
+
+    def test_remove_node_bumps_structure(self, tiny_comb):
+        tiny_comb.add_gate("dead", GateType.NOT, ["a"])
+        before = tiny_comb.structure_revision
+        tiny_comb.remove_node("dead")
+        assert tiny_comb.structure_revision > before
+
+    def test_replace_with_lut_bumps_function_not_structure(self, s27):
+        structure = s27.structure_revision
+        function = s27.function_revision
+        gate = next(
+            g
+            for g in s27.gates
+            if s27.node(g).is_combinational and not s27.node(g).is_lut
+        )
+        s27.replace_with_lut(gate, program=True)
+        assert s27.structure_revision == structure
+        assert s27.function_revision > function
+
+    def test_lut_config_write_bumps_nothing(self, s27):
+        gate = next(
+            g
+            for g in s27.gates
+            if s27.node(g).is_combinational and not s27.node(g).is_lut
+        )
+        s27.replace_with_lut(gate, program=False)
+        structure = s27.structure_revision
+        function = s27.function_revision
+        s27.node(gate).lut_config = 0b1010
+        assert s27.structure_revision == structure
+        assert s27.function_revision == function
+
+
+class TestInvalidationViaTransforms:
+    """Satellite check: mutate through the editing passes, then assert the
+    cached topological order / levelization are freshly recomputed."""
+
+    def _lock_some(self, netlist, count=3):
+        gates = [
+            g
+            for g in netlist.gates
+            if netlist.node(g).is_combinational
+            and not netlist.node(g).is_lut
+            and netlist.node(g).gate_type
+            not in (GateType.CONST0, GateType.CONST1)
+        ]
+        return replace_gates_with_luts(netlist, gates[:count], program=True)
+
+    def test_widen_lut_invalidates(self, s27):
+        rng = random.Random(0)
+        locked = self._lock_some(s27)
+        order = topological_order(s27)
+        levels = levelize(s27)
+        decoys = widen_lut_with_decoys(s27, locked[0], 2, rng)
+        assert decoys
+        new_order = topological_order(s27)
+        assert new_order is not order
+        assert set(new_order) == set(order)  # decoys reuse existing nets
+        new_levels = levelize(s27)
+        assert new_levels is not levels
+        # The widened LUT's level may have grown; it must still be consistent
+        # with its (longer) fan-in list.
+        lut_node = s27.node(locked[0])
+        assert new_levels[locked[0]] == 1 + max(
+            new_levels[src] for src in lut_node.fanin
+        )
+
+    def test_absorb_fanin_invalidates(self):
+        n = Netlist("absorb")
+        for pi in "abc":
+            n.add_input(pi)
+        n.add_gate("g", GateType.AND, ["a", "b"])
+        n.add_gate("y", GateType.OR, ["g", "c"])
+        n.add_output("y")
+        n.replace_with_lut("y", program=True)
+        order = topological_order(n)
+        levels = levelize(n)
+        assert absorb_fanin_gate(n, "y", 0) == "g"
+        new_order = topological_order(n)
+        assert new_order is not order
+        assert "g" not in new_order
+        new_levels = levelize(n)
+        assert new_levels is not levels
+        assert new_levels["y"] == 1  # the LUT now reads a, b, c directly
+
+    def test_decompose_invalidates(self):
+        n = Netlist("wide")
+        for pi in "abcd":
+            n.add_input(pi)
+        n.add_gate("y", GateType.NAND, ["a", "b", "c", "d"])
+        n.add_output("y")
+        order = topological_order(n)
+        created = decompose_to_max_fanin(n, max_fanin=2)
+        assert created > 0
+        new_order = topological_order(n)
+        assert new_order is not order
+        assert len(new_order) == len(order) + created
+
+    def test_scan_disable_invalidates(self, s27):
+        insert_scan_chain(s27)
+        order = topological_order(s27)
+        disable_scan(s27)
+        assert topological_order(s27) is not order
+
+    def test_constant_propagation_invalidates(self):
+        n = Netlist("const")
+        n.add_input("a")
+        n.add_gate("zero", GateType.CONST0, [])
+        n.add_gate("y", GateType.AND, ["a", "zero"])
+        n.add_output("y")
+        order = topological_order(n)
+        assert propagate_constants(n) > 0
+        new_order = topological_order(n)
+        assert new_order is not order
+        assert n.node("y").gate_type is GateType.CONST0
