@@ -3,6 +3,7 @@
     repro-lock lock s641.bench --algorithm parametric --out hybrid.bench
     repro-lock analyze s641.bench hybrid.bench
     repro-lock attack hybrid_foundry.bench hybrid.bench --attack sat
+    repro-lock lint hybrid.bench --format sarif
     repro-lock gen s5378a --out s5378a.bench
     repro-lock report
 
@@ -27,6 +28,7 @@ from .attacks import (
     TestingAttack,
 )
 from .circuits import PAPER_BENCHMARK_ORDER, load_benchmark
+from .lint import Category, LintConfig, Linter, Suppressions, all_rules
 from .locking import (
     ALGORITHMS,
     SecurityAnalyzer,
@@ -40,14 +42,41 @@ from .reporting import format_scientific, format_table
 
 
 def _load(path_or_name: str):
+    """Resolve a circuit argument and run the structural lint pre-flight.
+
+    Error-severity findings print as rendered lint output and exit non-zero
+    — every finding at once, instead of the first :class:`NetlistError` the
+    old ``netlist.validate()`` call would have raised.
+    """
     path = Path(path_or_name)
     if path.exists():
-        return bench_io.load(path)
-    if path_or_name in PAPER_BENCHMARK_ORDER or path_or_name == "s27":
-        return load_benchmark(path_or_name)
-    raise SystemExit(
-        f"error: {path_or_name!r} is neither a file nor a known benchmark"
-    )
+        text = path.read_text()
+        try:
+            netlist = bench_io.loads(text, path.stem, validate=False)
+        except bench_io.BenchFormatError as exc:
+            # Too broken to even parse (e.g. a multi-driven net): run the
+            # source-level rules so the user sees every such defect at once.
+            report = Linter().run_source(text, path.stem, artifact=str(path))
+            if report.findings:
+                print(report.render_text(), file=sys.stderr)
+            raise SystemExit(f"error: {path}: {exc}")
+        report = Linter().run(
+            netlist,
+            categories={Category.STRUCTURAL},
+            artifact=str(path),
+            source_text=text,
+        )
+    elif path_or_name in PAPER_BENCHMARK_ORDER or path_or_name == "s27":
+        netlist = load_benchmark(path_or_name)
+        report = Linter().run(netlist, categories={Category.STRUCTURAL})
+    else:
+        raise SystemExit(
+            f"error: {path_or_name!r} is neither a file nor a known benchmark"
+        )
+    if report.has_errors:
+        print(report.render_text(), file=sys.stderr)
+        raise SystemExit(1)
+    return netlist
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -193,6 +222,67 @@ def cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.id}  {rule.slug:<22} [{rule.severity.value:<7}] "
+                f"({rule.category.value}) {rule.title}"
+            )
+        return 0
+    if not args.netlist:
+        raise SystemExit("error: lint requires a netlist (or --list-rules)")
+    config = LintConfig(
+        allow_unprogrammed_luts=not args.strict_luts,
+        min_key_bits=args.min_key_bits,
+    )
+    linter = Linter(rules=args.rules or None, config=config)
+    suppressions = Suppressions(rules=set(args.disable or []))
+    categories = (
+        {Category(c) for c in args.category} if args.category else None
+    )
+    path = Path(args.netlist)
+    if path.exists():
+        text = path.read_text()
+        parse_error = None
+        try:
+            netlist = bench_io.loads(text, path.stem, validate=False)
+        except bench_io.BenchFormatError as exc:
+            netlist, parse_error = None, exc
+        report = linter.run(
+            netlist,
+            suppressions=suppressions,
+            categories=categories,
+            artifact=str(path),
+            source_text=text,
+        )
+        if parse_error is not None and not report.has_errors:
+            # Parse failure the source rules did not explain — surface it.
+            print(f"error: {path}: {parse_error}", file=sys.stderr)
+            return 1
+    elif args.netlist in PAPER_BENCHMARK_ORDER or args.netlist == "s27":
+        netlist = load_benchmark(args.netlist)
+        report = linter.run(
+            netlist, suppressions=suppressions, categories=categories
+        )
+    else:
+        raise SystemExit(
+            f"error: {args.netlist!r} is neither a file nor a known benchmark"
+        )
+    if args.format == "json":
+        rendered = report.to_json(indent=2)
+    elif args.format == "sarif":
+        rendered = report.to_sarif(indent=2)
+    else:
+        rendered = report.render_text()
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out} ({report.summary()})")
+    else:
+        print(rendered)
+    return 1 if report.has_errors else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     print(
         "Benchmark reports are generated by the pytest-benchmark harness:\n"
@@ -273,6 +363,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--absorb", action="store_true")
     p_flow.add_argument("--keep-scan", action="store_true")
     p_flow.set_defaults(func=cmd_flow)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: structural/security/timing rules"
+    )
+    p_lint.add_argument(
+        "netlist", nargs="?", help=".bench file or benchmark name"
+    )
+    p_lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    p_lint.add_argument("--out", default=None, help="write output to a file")
+    p_lint.add_argument(
+        "--category",
+        action="append",
+        choices=[c.value for c in Category],
+        help="restrict to a rule family (repeatable)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        action="append",
+        metavar="RULE",
+        help="run only this rule ID or slug (repeatable)",
+    )
+    p_lint.add_argument(
+        "--disable",
+        action="append",
+        metavar="RULE",
+        help="suppress a rule ID or slug (repeatable)",
+    )
+    p_lint.add_argument(
+        "--strict-luts",
+        action="store_true",
+        help="treat unprogrammed LUTs as errors (NL108)",
+    )
+    p_lint.add_argument("--min-key-bits", type=int, default=8)
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_report = sub.add_parser("report", help="how to regenerate the paper's tables")
     p_report.set_defaults(func=cmd_report)

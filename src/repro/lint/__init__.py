@@ -1,0 +1,68 @@
+"""``repro.lint`` — rule-based static analysis for netlists and locks.
+
+A registry-driven lint framework in three rule families:
+
+* **structural** (``NL1xx``) — is the netlist a well-formed design?
+  (Supersedes the historical ``repro.netlist.validate`` checks.)
+* **security** (``SEC2xx``) — does the lock deliver the paper's Eq. 2/3
+  attack cost, or has a selection pattern collapsed it back to Eq. 1?
+* **timing** (``TIM3xx``) — does the lock respect Algorithm 1/2's
+  non-critical-path and slack invariants?
+
+Quickstart::
+
+    from repro.lint import lint_netlist
+    report = lint_netlist(netlist)
+    if report.has_errors:
+        raise SystemExit(report.render_text())
+    print(report.to_sarif())          # SARIF 2.1.0 for code-scanning UIs
+
+The :class:`SecurityDrivenFlow` runs the structural rules as a pre-flight
+gate (errors abort) and the security/timing rules as a post-flight audit;
+``repro-lock lint`` exposes the same engine on the command line.  See
+``docs/LINTING.md`` for the full rule catalogue and suppression syntax.
+"""
+
+from .core import (
+    RULES,
+    Category,
+    Finding,
+    LintConfig,
+    LintContext,
+    LintReport,
+    Linter,
+    LockMetadata,
+    Rule,
+    Severity,
+    Suppressions,
+    all_rules,
+    lint_netlist,
+    register,
+    rule_ids,
+)
+from .source import lint_bench_source, parse_suppressions
+
+# Importing the rule modules populates the registry.
+from . import rules_structural  # noqa: F401  (registration side-effect)
+from . import rules_security  # noqa: F401
+from . import rules_timing  # noqa: F401
+
+__all__ = [
+    "RULES",
+    "Category",
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "Linter",
+    "LockMetadata",
+    "Rule",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "lint_netlist",
+    "register",
+    "rule_ids",
+    "lint_bench_source",
+    "parse_suppressions",
+]

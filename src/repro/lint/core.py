@@ -1,0 +1,482 @@
+"""The lint engine: rules, findings, suppressions, and the linter itself.
+
+A :class:`Rule` inspects one aspect of a netlist (or of raw ``.bench``
+source) and yields :class:`Finding` objects.  Rules carry a stable ID
+(``NL1xx`` structural, ``SEC2xx`` security, ``TIM3xx`` timing), a default
+severity, a category, and an optional autofix hint, and register themselves
+into a module-level registry so the engine, the CLI, and the SARIF renderer
+all see the same catalogue.
+
+The :class:`Linter` runs every registered rule in ID order, applies
+suppressions (explicit or parsed from ``# lint: disable=`` comments in the
+source), and returns a :class:`LintReport` that renders to text, JSON, or
+SARIF 2.1.0.
+
+Security- and timing-aware rules need more than the netlist: which gates the
+selection algorithm replaced, which USL neighbours it deliberately skipped,
+and what the pre-lock design's delay was.  :class:`LockMetadata` carries
+that context; rules that need it declare ``requires_lock_metadata`` and are
+skipped when it is absent.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
+
+from ..netlist.netlist import Netlist
+
+
+class Severity(enum.Enum):
+    """Finding severity; ``ERROR`` gates flows, ``WARNING`` informs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        return 0 if self is Severity.ERROR else 1
+
+
+class Category(enum.Enum):
+    """The three rule families of the framework."""
+
+    STRUCTURAL = "structural"
+    SECURITY = "security"
+    TIMING = "timing"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by one rule."""
+
+    rule_id: str
+    slug: str
+    severity: Severity
+    category: Category
+    message: str
+    net: Optional[str] = None
+    autofix: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [net: {self.net}]" if self.net else ""
+        return (
+            f"[{self.severity.value}] {self.rule_id} "
+            f"{self.slug}: {self.message}{where}"
+        )
+
+
+@dataclass
+class LockMetadata:
+    """Lock-aware context for security/timing rules.
+
+    Built from a :class:`~repro.locking.base.SelectionResult` (see
+    :meth:`from_selection`); every field is optional so partial context —
+    e.g. just an original netlist for timing comparison — still enables the
+    rules that can use it.
+    """
+
+    algorithm: str = ""
+    original: Optional[Netlist] = None
+    replaced: List[str] = field(default_factory=list)
+    #: Unselected path gates that joined the parametric algorithm's USL.
+    usl_gates: List[str] = field(default_factory=list)
+    #: USL neighbours skipped with a timing justification (diagnostic record
+    #: kept by :mod:`repro.locking.parametric`).
+    skipped_neighbours: List[str] = field(default_factory=list)
+    timing_margin: Optional[float] = None
+
+    @classmethod
+    def from_selection(
+        cls,
+        result: object,
+        original: Optional[Netlist] = None,
+        timing_margin: Optional[float] = None,
+    ) -> "LockMetadata":
+        """Extract lint context from a ``SelectionResult`` (duck-typed so
+        :mod:`repro.lint` never imports :mod:`repro.locking`)."""
+        params = getattr(result, "params", {}) or {}
+        return cls(
+            algorithm=str(getattr(result, "algorithm", "")),
+            original=original or getattr(result, "original", None),
+            replaced=list(getattr(result, "replaced", []) or []),
+            usl_gates=list(params.get("usl_gates", []) or []),
+            skipped_neighbours=list(params.get("skipped_neighbours", []) or []),
+            timing_margin=timing_margin,
+        )
+
+
+@dataclass
+class LintConfig:
+    """Tunable thresholds shared by every rule."""
+
+    #: Unprogrammed LUTs are normal in a foundry view; strict mode (the
+    #: provisioned-netlist check) turns them into errors.
+    allow_unprogrammed_luts: bool = True
+    #: Smallest LUT fan-in the α security model covers (the paper's
+    #: constants start at 2-input gates).
+    min_lut_fanin: int = 2
+    #: Minimum total withheld configuration bits across all LUTs.
+    min_key_bits: int = 8
+    #: Relative delay budget for TIM301 when lock metadata provides an
+    #: original netlist (falls back to the flow's default margin).
+    timing_margin: float = 0.08
+    #: Absolute clock constraint for TIM301 when no original is available.
+    clock_period_ns: Optional[float] = None
+
+
+class LintContext:
+    """Everything a rule may look at during one run."""
+
+    def __init__(
+        self,
+        netlist: Optional[Netlist],
+        config: Optional[LintConfig] = None,
+        metadata: Optional[LockMetadata] = None,
+        source_text: Optional[str] = None,
+    ):
+        self.netlist = netlist
+        self.config = config or LintConfig()
+        self.metadata = metadata
+        self.source_text = source_text
+        self._timing = None
+        self._timing_report: object = _UNSET
+        self._original_report: object = _UNSET
+
+    @property
+    def timing(self):
+        """Lazily-built :class:`~repro.analysis.sta.TimingAnalyzer`."""
+        if self._timing is None:
+            from ..analysis.sta import TimingAnalyzer
+
+            self._timing = TimingAnalyzer()
+        return self._timing
+
+    def timing_report(self):
+        """STA report of the linted netlist, or ``None`` when the netlist is
+        structurally broken (loops, undriven nets) and cannot be timed."""
+        if self._timing_report is _UNSET:
+            self._timing_report = self._safe_sta(self.netlist)
+        return self._timing_report
+
+    def original_timing_report(self):
+        """STA report of the pre-lock netlist from :class:`LockMetadata`."""
+        if self._original_report is _UNSET:
+            original = self.metadata.original if self.metadata else None
+            self._original_report = self._safe_sta(original)
+        return self._original_report
+
+    def _safe_sta(self, netlist: Optional[Netlist]):
+        if netlist is None:
+            return None
+        try:
+            return self.timing.analyze(netlist)
+        except Exception:  # broken structure — structural rules report it
+            return None
+
+
+class Rule(abc.ABC):
+    """One static check.  Subclasses set the class attributes and implement
+    :meth:`check`; :func:`register` adds them to the shared catalogue."""
+
+    id: str = ""
+    slug: str = ""
+    title: str = ""
+    severity: Severity = Severity.WARNING
+    category: Category = Category.STRUCTURAL
+    rationale: str = ""
+    autofix: Optional[str] = None
+    #: Skip this rule when no :class:`LockMetadata` is available.
+    requires_lock_metadata: bool = False
+    #: Rule reads ``ctx.source_text`` (raw ``.bench``) instead of a netlist.
+    source_only: bool = False
+
+    @abc.abstractmethod
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for *ctx*."""
+
+    def finding(
+        self,
+        message: str,
+        net: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            slug=self.slug,
+            severity=severity or self.severity,
+            category=self.category,
+            message=message,
+            net=net,
+            autofix=self.autofix,
+        )
+
+
+#: The shared rule catalogue, keyed by rule ID.
+RULES: Dict[str, Type[Rule]] = {}
+
+_UNSET = object()
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULES` (IDs must be unique)."""
+    if not cls.id or not cls.slug:
+        raise ValueError(f"rule {cls.__name__} needs a non-empty id and slug")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    if any(existing.slug == cls.slug for existing in RULES.values()):
+        raise ValueError(f"duplicate rule slug {cls.slug!r}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in ID order."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(RULES)
+
+
+@dataclass
+class Suppressions:
+    """Which findings to drop: whole rules or ``(rule, net)`` pairs.
+
+    Rules may be named by ID (``NL105``) or slug (``floating-net``).
+    """
+
+    rules: Set[str] = field(default_factory=set)
+    per_net: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        keys = {finding.rule_id, finding.slug}
+        if keys & self.rules:
+            return True
+        if finding.net is not None:
+            for key in keys:
+                if (key, finding.net) in self.per_net:
+                    return True
+        return False
+
+    def merge(self, other: Optional["Suppressions"]) -> "Suppressions":
+        if other is None:
+            return self
+        return Suppressions(
+            rules=self.rules | other.rules,
+            per_net=self.per_net | other.per_net,
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.rules or self.per_net)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    netlist_name: str
+    findings: List[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    #: Path of the linted artifact, when linting a file (used by SARIF).
+    artifact: Optional[str] = None
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": self.n_suppressed,
+        }
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for f in self.findings:
+            grouped.setdefault(f.rule_id, []).append(f)
+        return grouped
+
+    def summary(self) -> str:
+        """One-line digest for flow reports and CLI footers."""
+        if not self.findings:
+            return "clean" + (
+                f" ({self.n_suppressed} suppressed)" if self.n_suppressed else ""
+            )
+        parts = []
+        if self.errors:
+            parts.append(f"{len(self.errors)} error(s)")
+        if self.warnings:
+            parts.append(f"{len(self.warnings)} warning(s)")
+        rules = ", ".join(sorted(self.by_rule()))
+        return f"{' + '.join(parts)} [{rules}]"
+
+    # -- rendering (implemented in repro.lint.render) -------------------
+    def render_text(self) -> str:
+        from .render import render_text
+
+        return render_text(self)
+
+    def to_json_dict(self) -> dict:
+        from .render import to_json_dict
+
+        return to_json_dict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    def to_sarif_dict(self) -> dict:
+        from .render import to_sarif_dict
+
+        return to_sarif_dict(self)
+
+    def to_sarif(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_sarif_dict(), indent=indent)
+
+
+RuleSpec = Union[str, Rule, Type[Rule]]
+
+
+class Linter:
+    """Runs a rule set over a netlist (and/or its ``.bench`` source).
+
+    Args:
+        rules: subset of rules to run — IDs, slugs, classes, or instances.
+            ``None`` runs every registered rule.
+        config: shared thresholds (:class:`LintConfig`).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[RuleSpec]] = None,
+        config: Optional[LintConfig] = None,
+    ):
+        self.config = config or LintConfig()
+        self.rules = self._resolve(rules)
+
+    @staticmethod
+    def _resolve(specs: Optional[Iterable[RuleSpec]]) -> List[Rule]:
+        if specs is None:
+            return all_rules()
+        resolved: List[Rule] = []
+        by_slug = {cls.slug: cls for cls in RULES.values()}
+        for spec in specs:
+            if isinstance(spec, Rule):
+                resolved.append(spec)
+            elif isinstance(spec, type) and issubclass(spec, Rule):
+                resolved.append(spec())
+            elif isinstance(spec, str):
+                cls = RULES.get(spec) or by_slug.get(spec)
+                if cls is None:
+                    raise KeyError(f"unknown lint rule {spec!r}")
+                resolved.append(cls())
+            else:
+                raise TypeError(f"cannot resolve rule spec {spec!r}")
+        return sorted(resolved, key=lambda r: r.id)
+
+    def run(
+        self,
+        netlist: Optional[Netlist],
+        metadata: Optional[LockMetadata] = None,
+        suppressions: Optional[Suppressions] = None,
+        categories: Optional[Set[Category]] = None,
+        artifact: Optional[str] = None,
+        source_text: Optional[str] = None,
+    ) -> LintReport:
+        """Lint *netlist*; returns every unsuppressed finding.
+
+        *source_text*, when given, additionally enables the source-level
+        rules (multi-driver detection) and honours any
+        ``# lint: disable=`` directives embedded in it.  *netlist* may be
+        ``None`` when the source is too broken to load — only source-level
+        rules run in that case.
+        """
+        active = suppressions or Suppressions()
+        if source_text is not None:
+            from .source import parse_suppressions
+
+            active = active.merge(parse_suppressions(source_text))
+        ctx = LintContext(
+            netlist,
+            config=self.config,
+            metadata=metadata,
+            source_text=source_text,
+        )
+        findings: List[Finding] = []
+        n_suppressed = 0
+        for rule in self.rules:
+            if categories is not None and rule.category not in categories:
+                continue
+            if rule.requires_lock_metadata and metadata is None:
+                continue
+            if rule.source_only:
+                if source_text is None:
+                    continue
+            elif netlist is None:
+                continue
+            for finding in rule.check(ctx):
+                if active.suppresses(finding):
+                    n_suppressed += 1
+                else:
+                    findings.append(finding)
+        name = netlist.name if netlist is not None else (artifact or "source")
+        return LintReport(
+            netlist_name=name,
+            findings=findings,
+            n_suppressed=n_suppressed,
+            artifact=artifact,
+        )
+
+    def run_source(
+        self,
+        text: str,
+        name: str = "source",
+        suppressions: Optional[Suppressions] = None,
+        artifact: Optional[str] = None,
+    ) -> LintReport:
+        """Source-only lint for ``.bench`` text that cannot be loaded."""
+        report = self.run(
+            None,
+            suppressions=suppressions,
+            artifact=artifact,
+            source_text=text,
+        )
+        report.netlist_name = name
+        return report
+
+
+def lint_netlist(
+    netlist: Netlist,
+    metadata: Optional[LockMetadata] = None,
+    config: Optional[LintConfig] = None,
+    categories: Optional[Set[Category]] = None,
+) -> LintReport:
+    """Convenience one-shot: lint *netlist* with every registered rule."""
+    return Linter(config=config).run(
+        netlist, metadata=metadata, categories=categories
+    )

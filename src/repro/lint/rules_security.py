@@ -1,0 +1,181 @@
+"""Security rules (``SEC2xx``): does the lock actually buy Eq. 2/3 cost?
+
+The paper's attack-cost formulas only deliver their product-form growth when
+the missing gates are *interdependent* and their candidate functions stay
+ambiguous.  These rules flag the structural patterns that silently collapse
+the guarantee back to Eq. 1's sum — an isolated LUT fed straight from
+primary inputs, a configuration that leaks its own function, an unjustified
+gap in the parametric algorithm's USL closure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..netlist.transform import immediate_neighbours
+from .core import Category, Finding, LintContext, Rule, Severity, register
+
+
+@register
+class PiOnlyLut(Rule):
+    id = "SEC201"
+    slug = "pi-only-lut"
+    title = "LUT driven only by primary inputs"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "A missing gate whose inputs are all primary inputs can be justified "
+        "and resolved in isolation: attack cost for it adds (Eq. 1) instead "
+        "of multiplying into the chain (Eq. 2/3)."
+    )
+    autofix = (
+        "select a deeper gate instead, or widen the LUT with internal decoy "
+        "nets (widen_lut_with_decoys)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        netlist = ctx.netlist
+        for node in netlist:
+            if not node.is_lut or not node.fanin:
+                continue
+            if all(netlist.node(src).is_input for src in node.fanin):
+                yield self.finding(
+                    f"LUT {node.name!r} is driven only by primary inputs; "
+                    "an attacker resolves it independently (Eq. 1 regime)",
+                    net=node.name,
+                )
+
+
+@register
+class LeakyLutConfig(Rule):
+    id = "SEC202"
+    slug = "leaky-lut-config"
+    title = "LUT configuration is constant-equivalent or single-(min|max)term"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "A constant, single-minterm, or single-maxterm truth table is "
+        "recoverable from a handful of test patterns — the stored key bits "
+        "protect almost nothing."
+    )
+    autofix = "pick a different gate to replace, or absorb neighbouring logic"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.netlist:
+            if not node.is_lut or node.lut_config is None or not node.fanin:
+                continue
+            rows = 1 << node.n_inputs
+            mask = node.lut_config & ((1 << rows) - 1)
+            ones = bin(mask).count("1")
+            kind = None
+            if ones == 0 or ones == rows:
+                kind = f"constant-{1 if ones else 0}"
+            elif ones == 1:
+                kind = "single-minterm"
+            elif ones == rows - 1:
+                kind = "single-maxterm"
+            if kind is not None:
+                yield self.finding(
+                    f"LUT {node.name!r} configuration 0x{mask:X} is "
+                    f"{kind}; the withheld function leaks through trivial "
+                    "testing",
+                    net=node.name,
+                )
+
+
+@register
+class NarrowLut(Rule):
+    id = "SEC203"
+    slug = "narrow-lut"
+    title = "LUT fan-in below the α model's assumed arity"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "The paper's α/P constants start at 2-input gates; a 1-input LUT "
+        "has only 4 candidate functions (2 non-trivial), so Eq. 1–3 "
+        "estimates computed with α(2) overstate its resistance."
+    )
+    autofix = "widen the LUT with decoy inputs before provisioning"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        floor = ctx.config.min_lut_fanin
+        for node in ctx.netlist:
+            if node.is_lut and node.n_inputs < floor:
+                yield self.finding(
+                    f"LUT {node.name!r} has fan-in {node.n_inputs}, below "
+                    f"the α model's assumed arity ({floor})",
+                    net=node.name,
+                )
+
+
+@register
+class UslGap(Rule):
+    id = "SEC204"
+    slug = "usl-gap"
+    title = "USL neighbour neither replaced nor timing-justified"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    requires_lock_metadata = True
+    rationale = (
+        "Algorithm 2 demands that every gate driving or driven by an "
+        "unselected path gate is replaced, else partial truth tables leak; "
+        "skips are only legitimate when the timing guard recorded them "
+        "(parametric.py's skipped_neighbours diagnostic)."
+    )
+    autofix = "re-run selection with a larger timing margin, or record the skip"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        metadata = ctx.metadata
+        netlist = ctx.netlist
+        if metadata is None or not metadata.usl_gates:
+            return
+        usl = set(metadata.usl_gates)
+        justified = set(metadata.skipped_neighbours)
+        for gate in sorted(usl):
+            if gate not in netlist:
+                continue  # swept after locking (e.g. scan removal)
+            gate_node = netlist.node(gate)
+            if gate_node.is_lut:
+                continue  # selected via another path after joining the USL
+            for neighbour in immediate_neighbours(netlist, gate):
+                node = netlist.node(neighbour)
+                if node.is_lut or neighbour in usl or neighbour in justified:
+                    continue
+                # The algorithm only considers >=2-input gates; BUF/NOT and
+                # constants have no secret truth table to protect.
+                if node.n_inputs < 2:
+                    continue
+                yield self.finding(
+                    f"neighbour {neighbour!r} of unselected path gate "
+                    f"{gate!r} was neither replaced nor recorded as a "
+                    "timing-justified skip (USL closure gap)",
+                    net=neighbour,
+                )
+
+
+@register
+class KeyBudget(Rule):
+    id = "SEC205"
+    slug = "key-budget"
+    title = "Total withheld key bits below the configured budget"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "The brute-force bound (Eq. 3) is exponential in the withheld "
+        "configuration bits; a lock carrying fewer than the budgeted bits "
+        "cannot meet the design's security requirement."
+    )
+    autofix = "replace more gates or widen LUTs (each pin doubles the bits)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        netlist = ctx.netlist
+        luts = netlist.luts
+        if not luts:
+            return  # nothing is locked; not a lock under-provisioning
+        key_bits = sum(1 << netlist.node(name).n_inputs for name in luts)
+        budget = ctx.config.min_key_bits
+        if key_bits < budget:
+            yield self.finding(
+                f"lock withholds only {key_bits} configuration bits across "
+                f"{len(luts)} LUT(s); the budget requires >= {budget}"
+            )

@@ -1,0 +1,112 @@
+"""Timing rules (``TIM3xx``): is the lock parametric-aware?
+
+Algorithm 1 replaces gates only on *non-critical* paths ("paths with two or
+more flip-flops that are not timing-critical"), and Algorithm 2 additionally
+re-validates every replacement against the design's timing constraint.
+These rules re-check both invariants after the fact with the same STA engine
+the selection used, so a lock produced by any tool (or corrupted by a later
+edit) can be audited stand-alone.
+
+Both rules degrade gracefully: with :class:`~repro.lint.core.LockMetadata`
+they compare hybrid against pre-lock timing; without it they fall back to an
+absolute clock constraint (TIM301) or the hybrid's own critical path
+(TIM302).  Structurally broken netlists cannot be timed — the STA wrapper
+returns ``None`` and the rules stay silent (NL1xx reports the breakage).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .core import Category, Finding, LintContext, Rule, Severity, register
+
+
+@register
+class SlackViolation(Rule):
+    id = "TIM301"
+    slug = "slack-violation"
+    title = "Longest path exceeds the timing budget"
+    severity = Severity.WARNING
+    category = Category.TIMING
+    rationale = (
+        "Algorithm 2's whole point is locking within the delay budget "
+        "(original delay x (1 + margin), or an absolute clock period); a "
+        "violating lock trades yield for security the designer never agreed "
+        "to."
+    )
+    autofix = (
+        "re-run parametric selection with a larger margin or fewer gates "
+        "per segment"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        report = ctx.timing_report()
+        if report is None:
+            return
+        budget_ns = None
+        origin = ""
+        original_report = ctx.original_timing_report()
+        if original_report is not None:
+            margin = None
+            if ctx.metadata is not None:
+                margin = ctx.metadata.timing_margin
+            if margin is None:
+                margin = ctx.config.timing_margin
+            budget_ns = original_report.max_delay_ns * (1.0 + margin)
+            origin = (
+                f"original {original_report.max_delay_ns:.3f} ns "
+                f"+ {margin * 100.0:.0f}% margin"
+            )
+        elif ctx.config.clock_period_ns is not None:
+            budget_ns = ctx.config.clock_period_ns
+            origin = "clock period constraint"
+        if budget_ns is None:
+            return
+        if report.max_delay_ns > budget_ns * (1.0 + 1e-9):
+            yield self.finding(
+                f"longest path {report.max_delay_ns:.3f} ns exceeds the "
+                f"timing budget {budget_ns:.3f} ns ({origin})",
+                net=report.endpoint or None,
+            )
+
+
+@register
+class CriticalPathLut(Rule):
+    id = "TIM302"
+    slug = "critical-path-lut"
+    title = "Replacement sits on the critical path"
+    severity = Severity.WARNING
+    category = Category.TIMING
+    rationale = (
+        "Algorithm 1 restricts selection to non-critical paths; an STT LUT "
+        "on the critical path puts the clock at the mercy of the slow "
+        "sense-amplifier read and its process variation."
+    )
+    autofix = "deselect the gate or re-run selection with timing awareness"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        netlist = ctx.netlist
+        original_report = ctx.original_timing_report()
+        if original_report is not None:
+            # Precise form: a replaced gate on the *pre-lock* critical path
+            # is exactly what Algorithm 1 forbids.
+            critical = set(original_report.critical_path)
+            for name in sorted(critical):
+                if name in netlist and netlist.node(name).is_lut:
+                    yield self.finding(
+                        f"replacement {name!r} lies on the original "
+                        "design's critical path (Algorithm 1 selects only "
+                        "non-critical paths)",
+                        net=name,
+                    )
+            return
+        report = ctx.timing_report()
+        if report is None:
+            return
+        for name in report.critical_path:
+            if name in netlist and netlist.node(name).is_lut:
+                yield self.finding(
+                    f"LUT {name!r} lies on the critical path; the longest "
+                    "path now depends on the STT read timing",
+                    net=name,
+                )

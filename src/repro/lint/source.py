@@ -1,0 +1,137 @@
+"""Source-level rules and ``# lint: disable=`` directive parsing.
+
+Some defects make a ``.bench`` file unloadable — a net defined twice raises
+inside :class:`~repro.netlist.netlist.Netlist` construction, so no netlist
+ever exists for the graph rules to inspect.  The rules here scan the raw
+text instead and are the reason ``repro-lock lint`` can still produce a
+structured report (with a stable rule ID) for such files.
+
+Suppression directives ride in ordinary ``.bench`` comments::
+
+    # lint: disable=NL105                 suppress a rule file-wide
+    # lint: disable=SEC201@G17            suppress for one net
+    # lint: disable=NL105, SEC201@G17     several at once (IDs or slugs)
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterator, List, Tuple
+
+from .core import (
+    Category,
+    Finding,
+    LintContext,
+    Rule,
+    Severity,
+    Suppressions,
+    register,
+)
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([^#\n]+)", re.IGNORECASE)
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*[A-Za-z0-9_]+\s*\(")
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Collect every ``# lint: disable=`` directive in *text*."""
+    suppressions = Suppressions()
+    for match in _DISABLE_RE.finditer(text):
+        for entry in match.group(1).split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "@" in entry:
+                rule, net = (part.strip() for part in entry.split("@", 1))
+                if rule and net:
+                    suppressions.per_net.add((rule, net))
+            else:
+                suppressions.rules.add(entry)
+    return suppressions
+
+
+def _statements(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, statement)`` with comments and blanks stripped."""
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield lineno, line
+
+
+def _driver_names(text: str) -> List[str]:
+    """Every net name the source *drives*: INPUT declarations and gate LHS."""
+    names: List[str] = []
+    for _, line in _statements(text):
+        decl = _DECL_RE.match(line)
+        if decl:
+            if decl.group(1).upper() == "INPUT":
+                names.append(decl.group(2))
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            names.append(gate.group(1))
+    return names
+
+
+@register
+class MultiDriver(Rule):
+    id = "NL113"
+    slug = "multi-driver"
+    title = "Net defined by more than one statement"
+    severity = Severity.ERROR
+    category = Category.STRUCTURAL
+    source_only = True
+    rationale = (
+        "Each net has exactly one driver in the netlist model; a second "
+        "definition is a short in the implied hardware and makes the file "
+        "unloadable."
+    )
+    autofix = "rename or delete one of the conflicting definitions"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        counts = Counter(_driver_names(ctx.source_text or ""))
+        for name, count in counts.items():
+            if count > 1:
+                yield self.finding(
+                    f"net {name!r} has {count} drivers (defined "
+                    f"{count} times)",
+                    net=name,
+                )
+
+
+@register
+class DuplicateOutput(Rule):
+    id = "NL114"
+    slug = "duplicate-output"
+    title = "Primary output declared more than once"
+    severity = Severity.ERROR
+    category = Category.STRUCTURAL
+    source_only = True
+    rationale = (
+        "Duplicate OUTPUT declarations are rejected at load time; flagging "
+        "them here gives the failure a rule ID and a machine-readable report."
+    )
+    autofix = "delete the repeated OUTPUT declaration"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        outputs = Counter()
+        for _, line in _statements(ctx.source_text or ""):
+            decl = _DECL_RE.match(line)
+            if decl and decl.group(1).upper() == "OUTPUT":
+                outputs[decl.group(2)] += 1
+        for name, count in outputs.items():
+            if count > 1:
+                yield self.finding(
+                    f"primary output {name!r} declared {count} times",
+                    net=name,
+                )
+
+
+def lint_bench_source(text: str) -> List[Finding]:
+    """Run just the source-level rules over raw ``.bench`` text."""
+    ctx = LintContext(None, source_text=text)
+    findings: List[Finding] = []
+    for rule in (MultiDriver(), DuplicateOutput()):
+        findings.extend(rule.check(ctx))
+    return findings

@@ -12,6 +12,11 @@ designer."
 replacement, verifies functional equivalence (sign-off), evaluates PPA and
 security, and emits the three hand-off artifacts (hybrid netlist, foundry
 view, provisioning bitstream) plus a flow report.
+
+The flow is gated by :mod:`repro.lint` at both ends: a structural
+**pre-flight** (error-severity findings abort before any work is done) and a
+security/timing **post-flight** whose findings are summarized in the
+:class:`FlowReport` (``report.lint``).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..analysis.ppa import OverheadReport, PpaAnalyzer
+from ..lint import Category, Linter, LintReport, LockMetadata
 from ..lut import bitstream
 from ..netlist import bench_io, verilog_io
 from ..netlist.netlist import Netlist, NetlistError
@@ -78,6 +84,8 @@ class FlowReport:
     equivalence_verified: bool
     scan_disabled: bool
     artifacts: Dict[str, Path] = field(default_factory=dict)
+    #: Post-flight lint over the release netlist (security + timing rules).
+    lint: Optional[LintReport] = None
 
     @property
     def n_stt(self) -> int:
@@ -97,6 +105,8 @@ class FlowReport:
             f"{'VERIFIED' if self.equivalence_verified else 'FAILED'}",
             f"  scan:         {'disabled for release' if self.scan_disabled else 'left as-is'}",
         ]
+        if self.lint is not None:
+            lines.append(f"  lint:         {self.lint.summary()}")
         for name, path in self.artifacts.items():
             lines.append(f"  {name}: {path}")
         return "\n".join(lines)
@@ -110,11 +120,13 @@ class SecurityDrivenFlow:
         self,
         tech: Optional[TechLibrary] = None,
         stt: Optional[SttLibrary] = None,
+        linter: Optional[Linter] = None,
     ):
         self.tech = tech or cmos_90nm()
         self.stt = stt or stt_mtj_32nm()
         self.ppa = PpaAnalyzer(self.tech, self.stt)
         self.security = SecurityAnalyzer()
+        self.linter = linter or Linter()
 
     # ------------------------------------------------------------------
     def choose_algorithm(self, requirement: SecurityRequirement):
@@ -146,6 +158,16 @@ class SecurityDrivenFlow:
         count cannot be met.
         """
         requirement = requirement or SecurityRequirement()
+
+        # Pre-flight gate: a structurally broken input would produce garbage
+        # selections and undebuggable sign-off failures, so abort up front.
+        preflight = self.linter.run(netlist, categories={Category.STRUCTURAL})
+        if preflight.has_errors:
+            raise NetlistError(
+                "pre-flight lint failed — aborting flow:\n"
+                + preflight.render_text()
+            )
+
         algorithm = self.choose_algorithm(requirement)
         result = algorithm.run(netlist)
         if result.n_stt < requirement.min_missing_gates:
@@ -173,6 +195,19 @@ class SecurityDrivenFlow:
             sweep(release)
             scan_disabled = True
 
+        # Post-flight audit: security/timing rules over the release netlist,
+        # fed with the selection's lock metadata (USL closure record, original
+        # design for critical-path comparison).  Warnings only — they land in
+        # the report for the designer to weigh, never abort a verified lock.
+        metadata = LockMetadata.from_selection(
+            result, original=netlist, timing_margin=requirement.timing_margin
+        )
+        postflight = self.linter.run(
+            release,
+            metadata=metadata,
+            categories={Category.SECURITY, Category.TIMING},
+        )
+
         report = FlowReport(
             circuit=netlist.name,
             level=requirement.level,
@@ -181,6 +216,7 @@ class SecurityDrivenFlow:
             security=security,
             equivalence_verified=verified,
             scan_disabled=scan_disabled,
+            lint=postflight,
         )
         if output_dir is not None:
             report.artifacts = self._emit(result, Path(output_dir))

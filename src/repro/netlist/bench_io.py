@@ -37,8 +37,13 @@ _DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z0-9_]+)\s*\((.*)\)$")
 
 
-def loads(text: str, name: str = "top") -> Netlist:
-    """Parse ``.bench`` text into a :class:`Netlist`."""
+def loads(text: str, name: str = "top", validate: bool = True) -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`.
+
+    ``validate=False`` skips the structural :meth:`Netlist.validate` pass —
+    useful when the caller runs its own lint (e.g. ``repro-lock lint``) and
+    wants to render every finding instead of dying on the first error.
+    """
     netlist = Netlist(name)
     pending_outputs: List[str] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -85,14 +90,15 @@ def loads(text: str, name: str = "top") -> Netlist:
             raise BenchFormatError(lineno, str(exc)) from exc
     for net in pending_outputs:
         netlist.add_output(net)
-    netlist.validate()
+    if validate:
+        netlist.validate()
     return netlist
 
 
-def load(path: Union[str, Path], name: str = "") -> Netlist:
+def load(path: Union[str, Path], name: str = "", validate: bool = True) -> Netlist:
     """Read a ``.bench`` file; the netlist name defaults to the file stem."""
     path = Path(path)
-    return loads(path.read_text(), name or path.stem)
+    return loads(path.read_text(), name or path.stem, validate=validate)
 
 
 def dumps(netlist: Netlist, include_config: bool = True) -> str:

@@ -1,28 +1,28 @@
-"""Structural lint for netlists.
+"""Structural lint for netlists — compatibility shim over :mod:`repro.lint`.
 
-:func:`validate_netlist` returns a list of :class:`Issue` objects rather than
-raising, so callers can render complete reports; :func:`assert_valid` raises
-on the first error-severity issue (warnings pass).
+The checks themselves now live in :mod:`repro.lint.rules_structural`
+(rule IDs ``NL1xx``); this module keeps the historical API importable from
+``repro.netlist``: :func:`validate_netlist` returns legacy :class:`Issue`
+objects (``code`` is the rule slug, e.g. ``"undriven-net"``), and
+:func:`assert_valid` raises a :class:`NetlistError` aggregating **all**
+error-severity issues, not just the first.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from typing import List
 
-from .gates import GateType, max_arity, min_arity
-from .graph import CombinationalLoopError, topological_order
+from ..lint.core import Category, LintConfig, Linter, Severity
 from .netlist import Netlist, NetlistError
 
-
-class Severity(enum.Enum):
-    ERROR = "error"
-    WARNING = "warning"
+__all__ = ["Issue", "Severity", "assert_valid", "validate_netlist"]
 
 
 @dataclass(frozen=True)
 class Issue:
+    """Legacy finding shape (kept for callers that predate the linter)."""
+
     severity: Severity
     code: str
     message: str
@@ -32,112 +32,23 @@ class Issue:
 
 
 def validate_netlist(netlist: Netlist, allow_unprogrammed_luts: bool = True) -> List[Issue]:
-    """Run every structural check; returns all issues found.
+    """Run every structural lint rule; returns all issues found.
 
-    Checks: undriven nets, undriven outputs, illegal arity, combinational
-    loops, floating (fanout-free, non-output) nets, duplicate fan-in pins,
-    unprogrammed LUTs (warning or error per *allow_unprogrammed_luts*),
-    and netlists with no primary outputs.
+    Thin wrapper over ``Linter().run(netlist, categories={STRUCTURAL})`` —
+    see ``docs/LINTING.md`` for the rule catalogue.  ``Issue.code`` carries
+    the rule slug (``"undriven-net"``), matching the historical codes.
     """
-    issues: List[Issue] = []
-    names = set(netlist.node_names())
-
-    for node in netlist:
-        for src in node.fanin:
-            if src not in names:
-                issues.append(
-                    Issue(
-                        Severity.ERROR,
-                        "undriven-net",
-                        f"node {node.name!r} reads undriven net {src!r}",
-                    )
-                )
-        lo, hi = min_arity(node.gate_type), max_arity(node.gate_type)
-        if not lo <= node.n_inputs <= hi:
-            issues.append(
-                Issue(
-                    Severity.ERROR,
-                    "bad-arity",
-                    f"{node.gate_type.value} node {node.name!r} has "
-                    f"{node.n_inputs} inputs (allowed {lo}..{hi})",
-                )
-            )
-        if len(set(node.fanin)) != len(node.fanin):
-            issues.append(
-                Issue(
-                    Severity.WARNING,
-                    "duplicate-pin",
-                    f"node {node.name!r} reads the same net on multiple pins",
-                )
-            )
-        if node.gate_type is GateType.LUT and node.lut_config is None:
-            severity = Severity.WARNING if allow_unprogrammed_luts else Severity.ERROR
-            issues.append(
-                Issue(
-                    severity,
-                    "unprogrammed-lut",
-                    f"LUT {node.name!r} has no configuration",
-                )
-            )
-        if node.gate_type is GateType.LUT and node.lut_config is not None:
-            rows = 1 << node.n_inputs
-            if node.lut_config >= (1 << rows):
-                issues.append(
-                    Issue(
-                        Severity.ERROR,
-                        "oversized-config",
-                        f"LUT {node.name!r} config 0x{node.lut_config:X} does "
-                        f"not fit {node.n_inputs} inputs",
-                    )
-                )
-
-    for po in netlist.outputs:
-        if po not in names:
-            issues.append(
-                Issue(
-                    Severity.ERROR,
-                    "undriven-output",
-                    f"primary output {po!r} has no driver",
-                )
-            )
-    if not netlist.outputs:
-        issues.append(
-            Issue(Severity.WARNING, "no-outputs", "netlist has no primary outputs")
-        )
-
-    output_set = set(netlist.outputs)
-    for node in netlist:
-        if not netlist.fanout(node.name) and node.name not in output_set:
-            if node.is_input:
-                issues.append(
-                    Issue(
-                        Severity.WARNING,
-                        "unused-input",
-                        f"primary input {node.name!r} drives nothing",
-                    )
-                )
-            else:
-                issues.append(
-                    Issue(
-                        Severity.WARNING,
-                        "floating-net",
-                        f"net {node.name!r} has no fan-out and is not an output",
-                    )
-                )
-
-    if not any(issue.code == "undriven-net" for issue in issues):
-        try:
-            topological_order(netlist)
-        except CombinationalLoopError as exc:
-            issues.append(Issue(Severity.ERROR, "combinational-loop", str(exc)))
-
-    return issues
+    config = LintConfig(allow_unprogrammed_luts=allow_unprogrammed_luts)
+    report = Linter(config=config).run(
+        netlist, categories={Category.STRUCTURAL}
+    )
+    return [Issue(f.severity, f.slug, f.message) for f in report.findings]
 
 
 def assert_valid(netlist: Netlist, allow_unprogrammed_luts: bool = True) -> None:
-    """Raise :class:`NetlistError` if any error-severity issue exists."""
+    """Raise :class:`NetlistError` listing *every* error-severity issue."""
     issues = validate_netlist(netlist, allow_unprogrammed_luts=allow_unprogrammed_luts)
     errors = [i for i in issues if i.severity is Severity.ERROR]
     if errors:
-        detail = "; ".join(str(e) for e in errors[:5])
+        detail = "; ".join(str(e) for e in errors)
         raise NetlistError(f"{len(errors)} structural error(s): {detail}")

@@ -131,6 +131,68 @@ class TestMlAttackCommand:
         assert "ml attack" in capsys.readouterr().out
 
 
+class TestLintCommand:
+    def test_lint_clean_benchmark_exits_zero(self, capsys):
+        assert main(["lint", "s27"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "NL101" in out and "SEC201" in out and "TIM301" in out
+
+    def test_lint_multi_driver_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bench"
+        bad.write_text(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n"
+        )
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        data = __import__("json").loads(capsys.readouterr().out)
+        assert data["summary"]["errors"] == 1
+        assert data["findings"][0]["rule"] == "NL113"
+
+    def test_lint_sarif_output(self, s27_file, capsys):
+        assert main(["lint", str(s27_file), "--format", "sarif"]) == 0
+        sarif = __import__("json").loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_lint_hybrid_after_lock_is_error_free(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "h.bench"
+        main(["lock", str(s27_file), "--algorithm", "parametric", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["lint", str(out)]) == 0
+        head = capsys.readouterr().out.splitlines()[0]
+        assert "clean" in head or "0 error(s)" in head
+
+    def test_lint_disable_suppresses_rule(self, tmp_path, capsys):
+        bench = tmp_path / "f.bench"
+        bench.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(unused)\nOUTPUT(y)\ny = AND(a, b)\n"
+        )
+        assert main(["lint", str(bench)]) == 0
+        assert "NL106" in capsys.readouterr().out
+        assert main(["lint", str(bench), "--disable", "NL106"]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_lint_writes_output_file(self, s27_file, tmp_path, capsys):
+        out = tmp_path / "report.sarif"
+        assert main(["lint", str(s27_file), "--format", "sarif", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_lint_without_netlist_errors(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_load_preflight_blocks_broken_input(self, tmp_path, capsys):
+        broken = tmp_path / "broken.bench"
+        broken.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        with pytest.raises(SystemExit):
+            main(["lock", str(broken)])
+        assert "NL101" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_lists_benches(self, capsys):
         assert main(["report"]) == 0
