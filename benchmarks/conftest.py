@@ -1,49 +1,102 @@
 """Shared benchmark fixtures.
 
-``suite_results`` runs the full Table I experiment once per pytest session —
-every Table I circuit × {independent, dependent, parametric} — and caches
-the selection result, PPA overheads, security report, and CPU time.  The
-Table I / Table II / Fig. 3 benches all render from this single sweep, so
-the expensive part happens once.
+``suite_results`` runs the full Table I experiment grid — every Table I
+circuit × {independent, dependent, parametric} — **through the sweep
+engine** (:mod:`repro.sweep`) once per pytest session.  The Table I /
+Table II / Fig. 3 benches all render from this single sweep, so the
+expensive part happens once, fans out across worker processes, and can be
+served from a resumable result cache between sessions.
 
 Environment knobs:
 
 * ``REPRO_BENCH_MAX_GATES`` — skip circuits larger than this many gates
   (default 0 = run all twelve; set e.g. 3000 for a quick pass).
 * ``REPRO_BENCH_SEED`` — selection seed (default 2016).
+* ``REPRO_BENCH_WORKERS`` — sweep worker processes (default 0 = one per
+  CPU, capped at 8; set 1 to force the serial path).
+* ``REPRO_BENCH_CACHE`` — a sweep cache directory; when set, re-runs
+  serve unchanged (circuit, algorithm, seed) cells from disk instead of
+  recomputing them.  Unset by default so a benchmark session measures
+  fresh timings.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import pytest
 
-from repro.analysis import OverheadReport, PpaAnalyzer
-from repro.circuits import PAPER_BENCHMARKS, benchmark_suite
-from repro.locking import (
-    ALGORITHMS,
-    SecurityAnalyzer,
-    SecurityReport,
-    SelectionResult,
+from repro.analysis import OverheadReport
+from repro.circuits import PAPER_BENCHMARKS, PAPER_BENCHMARK_ORDER
+from repro.locking import ALGORITHMS, SecurityReport, SelectionResult
+from repro.sweep import (
+    SweepSpec,
+    default_workers,
+    overhead_report,
+    run_sweep,
+    security_report,
 )
 
 ALGORITHM_ORDER = ("independent", "dependent", "parametric")
 
 
+def suite_circuits(max_gates: int = 0) -> List[str]:
+    """Table I circuit names, optionally truncated to *max_gates*."""
+    return [
+        name
+        for name in PAPER_BENCHMARK_ORDER
+        if not max_gates or PAPER_BENCHMARKS[name][3] <= max_gates
+    ]
+
+
+def bench_workers() -> int:
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    return workers if workers > 0 else default_workers()
+
+
+def bench_progress(event: dict) -> None:
+    if event.get("event") != "trial":
+        return
+    print(
+        f"[suite {event['done']}/{event['total']}] {event['label']} "
+        f"{event['status']} ({event['trial_seconds']:.1f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 @dataclass
 class SuiteEntry:
-    """One (circuit, algorithm) cell of the Table I sweep."""
+    """One (circuit, algorithm) cell of the Table I sweep.
+
+    Built from a sweep row; ``overhead``/``security``/``select_seconds``
+    come straight from the row.  ``result`` (live netlists, used only by
+    the functional spot-checks on small circuits) is reconstructed on
+    first access — selection is deterministic in (circuit, algorithm,
+    seed), so the recomputed hybrid is the one the sweep measured.
+    """
 
     circuit: str
     algorithm: str
-    result: SelectionResult
     overhead: OverheadReport
     security: SecurityReport
     select_seconds: float
+    seed: int
+    gen_seed: int
+    _result: Optional[SelectionResult] = field(default=None, repr=False)
+
+    @property
+    def result(self) -> SelectionResult:
+        if self._result is None:
+            from repro.circuits import load_benchmark
+
+            netlist = load_benchmark(self.circuit, seed=self.gen_seed)
+            algorithm = ALGORITHMS[self.algorithm](seed=self.seed)
+            self._result = algorithm.run(netlist)
+        return self._result
 
 
 @dataclass
@@ -62,31 +115,35 @@ class SuiteResults:
 def suite_results() -> SuiteResults:
     max_gates = int(os.environ.get("REPRO_BENCH_MAX_GATES", "0"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
-    circuits = benchmark_suite(seed=seed, max_gates=max_gates)
-    ppa = PpaAnalyzer()
-    security = SecurityAnalyzer()
-    entries: Dict[Tuple[str, str], SuiteEntry] = {}
-    for netlist in circuits:
-        for algorithm in ALGORITHM_ORDER:
-            print(
-                f"[suite] {netlist.name} / {algorithm} "
-                f"({len(netlist.gates)} gates)...",
-                file=sys.stderr,
-                flush=True,
-            )
-            algo = ALGORITHMS[algorithm](seed=seed)
-            result = algo.run(netlist)
-            entries[(netlist.name, algorithm)] = SuiteEntry(
-                circuit=netlist.name,
-                algorithm=algorithm,
-                result=result,
-                overhead=ppa.overhead(netlist, result.hybrid, algorithm),
-                security=security.analyze(result.hybrid, algorithm),
-                select_seconds=result.cpu_seconds,
-            )
-    return SuiteResults(
-        entries=entries, circuit_order=[n.name for n in circuits]
+    circuits = suite_circuits(max_gates)
+    spec = SweepSpec(
+        circuits=circuits,
+        algorithms=ALGORITHM_ORDER,
+        seeds=(seed,),
+        analyses=("ppa", "security"),
+        gen_seed=seed,
     )
+    result = run_sweep(
+        spec,
+        workers=bench_workers(),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+        progress=bench_progress,
+    )
+    failed = result.failed_rows()
+    assert not failed, [row["error"] for row in failed]
+    entries: Dict[Tuple[str, str], SuiteEntry] = {}
+    for row in result.rows:
+        trial = row["trial"]
+        entries[(trial["circuit"], trial["algorithm"])] = SuiteEntry(
+            circuit=trial["circuit"],
+            algorithm=trial["algorithm"],
+            overhead=overhead_report(row),
+            security=security_report(row),
+            select_seconds=row["timing"]["select_seconds"],
+            seed=trial["seed"],
+            gen_seed=trial["gen_seed"],
+        )
+    return SuiteResults(entries=entries, circuit_order=list(circuits))
 
 
 @pytest.fixture(scope="session")

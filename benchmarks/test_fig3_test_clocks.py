@@ -10,6 +10,11 @@ paper's scientific-notation style).  Asserted shape:
   paper's ">1000 years at 1e9 patterns/s" claim — and 1e200-class counts
   on the largest circuits;
 * security grows with circuit size for the dependent/parametric schemes.
+
+The underlying grid executes through the sweep engine (see
+``conftest.suite_results``); each ``entry.security`` here is the Eq. 1–3
+report rebuilt from that sweep's JSON rows via
+:func:`repro.sweep.security_report`.
 """
 
 from __future__ import annotations

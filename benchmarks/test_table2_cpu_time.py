@@ -6,6 +6,12 @@ concludes selection is computationally inexpensive (< 1 minute even for
 in the same format and assert the same conclusion; pytest-benchmark
 additionally times each algorithm on a mid-size circuit for calibrated
 statistics.
+
+The grid runs through :mod:`repro.sweep` (see ``conftest.suite_results``):
+``select_seconds`` is each trial's own selection wall-clock as measured
+inside its worker, so the numbers are per-trial CPU times regardless of
+``REPRO_BENCH_WORKERS``.  With ``REPRO_BENCH_CACHE`` set, rows served
+from the result cache report the timing of the run that produced them.
 """
 
 from __future__ import annotations

@@ -4,7 +4,9 @@
 performed randomly, we observe that there is slightly larger overhead for a
 larger circuit in some cases ..." — Section V explains Table I's
 non-monotonic cells by selection randomness.  This bench measures that
-variance directly: one circuit, many seeds, mean ± spread per metric."""
+variance directly — one circuit, many seeds, mean ± spread per metric —
+with the grid fanned out through the sweep engine (each (algorithm, seed)
+cell is one independent trial, so the whole study parallelises)."""
 
 from __future__ import annotations
 
@@ -12,32 +14,37 @@ import statistics
 
 import pytest
 
-from repro import PpaAnalyzer, lock_design
-from repro.circuits import load_benchmark
 from repro.reporting import format_table
+from repro.sweep import SweepSpec, group_rows, run_sweep
+
+from conftest import bench_workers
 
 SEEDS = tuple(range(8))
+CIRCUIT = "s1196"
 
 
-@pytest.fixture(scope="module")
-def design():
-    return load_benchmark("s1196")
+def test_seed_variance(benchmark):
+    spec = SweepSpec(
+        circuits=(CIRCUIT,),
+        algorithms=("independent", "dependent", "parametric"),
+        seeds=SEEDS,
+        analyses=("ppa",),
+    )
 
-
-def test_seed_variance(design, benchmark):
     def sweep():
-        ppa = PpaAnalyzer()
+        result = run_sweep(spec, workers=bench_workers())
+        assert not result.failed_rows(), result.failed_rows()
         stats = {}
-        for algorithm in ("independent", "dependent", "parametric"):
-            perf, power, area, counts = [], [], [], []
-            for seed in SEEDS:
-                result = lock_design(design, algorithm=algorithm, seed=seed)
-                overhead = ppa.overhead(design, result.hybrid, algorithm)
-                perf.append(overhead.performance_degradation_pct)
-                power.append(overhead.power_overhead_pct)
-                area.append(overhead.area_overhead_pct)
-                counts.append(overhead.n_stt)
-            stats[algorithm] = (perf, power, area, counts)
+        for (algorithm,), rows in group_rows(
+            result.ok_rows(), by=("algorithm",)
+        ).items():
+            overheads = [row["metrics"]["overhead"] for row in rows]
+            stats[algorithm] = (
+                [o["performance_degradation_pct"] for o in overheads],
+                [o["power_overhead_pct"] for o in overheads],
+                [o["area_overhead_pct"] for o in overheads],
+                [o["n_stt"] for o in overheads],
+            )
         return stats
 
     stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -57,7 +64,7 @@ def test_seed_variance(design, benchmark):
         format_table(
             ["algorithm", "delay % (μ±σ)", "power % (μ±σ)", "area % (μ±σ)", "#STT (μ±σ)"],
             rows,
-            title=f"selection randomness across {len(SEEDS)} seeds (s1196)",
+            title=f"selection randomness across {len(SEEDS)} seeds ({CIRCUIT})",
         )
     )
 

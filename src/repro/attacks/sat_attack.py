@@ -122,9 +122,13 @@ class SatAttack:
             self._add_io_constraint(solver, encoder, keys_a, pattern, response)
             self._add_io_constraint(solver, encoder, keys_b, pattern, response)
         else:
+            # Iteration cap hit with distinguishing inputs still open: the
+            # solver's work so far must be reported, same as the solved path
+            # (sweep rows would otherwise show 0 conflicts for capped runs).
             result.gave_up = True
             result.oracle_queries = self.oracle.queries
             result.test_clocks = self.oracle.test_clocks
+            result.solver_conflicts = solver.stats["conflicts"]
             return result
 
         result.key = self._extract_key(di_constraints)

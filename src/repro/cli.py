@@ -3,6 +3,7 @@
     repro-lock lock s641.bench --algorithm parametric --out hybrid.bench
     repro-lock analyze s641.bench hybrid.bench
     repro-lock attack hybrid_foundry.bench hybrid.bench --attack sat
+    repro-lock sweep --circuits s641,s1238 --seeds 0:8 --workers 4
     repro-lock lint hybrid.bench --format sarif
     repro-lock gen s5378a --out s5378a.bench
     repro-lock report
@@ -283,10 +284,124 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def _parse_int_list(text: str) -> List[int]:
+    """``"0,3,5"`` and range shorthand ``"0:8"`` (half-open), mixable."""
+    out: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            lo, hi = part.split(":", 1)
+            out.extend(range(int(lo), int(hi)))
+        else:
+            out.append(int(part))
+    if not out:
+        raise SystemExit(f"error: empty integer list {text!r}")
+    return out
+
+
+def _parse_name_list(text: str) -> List[str]:
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise SystemExit(f"error: empty list {text!r}")
+    return names
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SweepSpec,
+        default_workers,
+        load_circuit,
+        render_csv,
+        render_table,
+        run_sweep,
+    )
+
+    if args.spec:
+        import json as _json
+
+        try:
+            spec = SweepSpec.from_dict(_json.loads(Path(args.spec).read_text()))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {args.spec}: {exc}")
+    else:
+        spec = SweepSpec(
+            circuits=_parse_name_list(args.circuits),
+            algorithms=_parse_name_list(args.algorithms),
+            seeds=_parse_int_list(args.seeds),
+            attacks=_parse_name_list(args.attacks),
+            analyses=_parse_name_list(args.analyses),
+            gen_seed=args.gen_seed,
+        )
+    if args.max_gates:
+        spec.circuits = [
+            name
+            for name in spec.circuits
+            if len(load_circuit(name, spec.gen_seed).gates) <= args.max_gates
+        ]
+        if not spec.circuits:
+            raise SystemExit("error: --max-gates filtered out every circuit")
+
+    workers = args.workers if args.workers > 0 else default_workers()
+
+    def progress(event: dict) -> None:
+        if event["event"] == "resume":
+            print(
+                f"[sweep] {event['cached']} of {event['total']} trials "
+                "already cached",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        eta = f"  eta {event['eta']:.0f}s" if event["eta"] else ""
+        print(
+            f"[sweep {event['done']}/{event['total']}] {event['label']} "
+            f"{event['status']} ({event['trial_seconds']:.1f}s){eta}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    result = run_sweep(
+        spec,
+        workers=workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        resume=args.resume,
+        progress=None if args.quiet else progress,
+    )
+
+    if args.format == "json":
+        import json as _json
+
+        rendered = _json.dumps(
+            {
+                "spec": spec.to_dict(),
+                "stats": vars(result.stats),
+                "rows": result.rows,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "csv":
+        rendered = render_csv(result.rows).rstrip("\n")
+    else:
+        rendered = render_table(result.rows)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    print(result.stats.summary(), file=sys.stderr)
+    return 1 if result.stats.failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     print(
         "Benchmark reports are generated by the pytest-benchmark harness:\n"
         "  pytest benchmarks/ --benchmark-only -q\n"
+        "The underlying experiment grids can be run (in parallel, with a\n"
+        "resumable result cache) via the sweep engine:\n"
+        "  repro-lock sweep --workers 4 --seeds 0:8 --format table\n"
         "Individual tables/figures:\n"
         "  pytest benchmarks/test_fig1_stt_vs_cmos.py --benchmark-only\n"
         "  pytest benchmarks/test_table1_ppa_overhead.py --benchmark-only\n"
@@ -363,6 +478,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--absorb", action="store_true")
     p_flow.add_argument("--keep-scan", action="store_true")
     p_flow.set_defaults(func=cmd_flow)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a circuits × algorithms × seeds × attacks experiment grid",
+    )
+    p_sweep.add_argument(
+        "--spec",
+        default=None,
+        help="JSON SweepSpec file (overrides the grid flags below)",
+    )
+    p_sweep.add_argument(
+        "--circuits",
+        default=",".join(PAPER_BENCHMARK_ORDER),
+        help="comma-separated benchmark names or .bench paths "
+        "(default: the paper's 12-circuit suite)",
+    )
+    p_sweep.add_argument(
+        "--algorithms", default="independent,dependent,parametric"
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        default="0",
+        help="comma list with range shorthand, e.g. '0:8' or '1,2,9'",
+    )
+    p_sweep.add_argument(
+        "--attacks",
+        default="none",
+        help="comma list of none/testing/brute/sat/ml",
+    )
+    p_sweep.add_argument("--analyses", default="ppa,security")
+    p_sweep.add_argument("--gen-seed", type=int, default=2016)
+    p_sweep.add_argument(
+        "--max-gates",
+        type=int,
+        default=0,
+        help="skip circuits larger than this many gates (0 = no limit)",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process count (0 = one per CPU, capped at 8; 1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="content-addressed result store (default: .sweep-cache)",
+    )
+    p_sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without reading or writing the result store",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve completed trials from the cache (--no-resume re-runs "
+        "everything but still records results)",
+    )
+    p_sweep.add_argument(
+        "--format", default="table", choices=["table", "json", "csv"]
+    )
+    p_sweep.add_argument("--out", default=None, help="write output to a file")
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_lint = sub.add_parser(
         "lint", help="static analysis: structural/security/timing rules"

@@ -1,0 +1,181 @@
+"""Aggregation: sweep rows → the paper's report objects and tables.
+
+The runner emits plain JSON rows; this module is the bridge back into
+:mod:`repro.reporting` and the analysis dataclasses, so the benchmark
+harness (Table I/II, Fig. 3, the variance bench) renders from sweep rows
+exactly as it used to render from in-process objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import statistics
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.ppa import OverheadReport
+from ..locking.metrics import SecurityReport
+from ..reporting import format_table
+
+
+def overhead_report(row: Mapping[str, Any]) -> OverheadReport:
+    """Rebuild the Table I :class:`OverheadReport` from an ``ok`` row that
+    ran the ``ppa`` analysis."""
+    data = (row.get("metrics") or {}).get("overhead")
+    if data is None:
+        raise ValueError("row has no 'ppa' analysis to rebuild from")
+    return OverheadReport(
+        circuit=row["trial"]["circuit"],
+        algorithm=row["trial"]["algorithm"],
+        performance_degradation_pct=data["performance_degradation_pct"],
+        power_overhead_pct=data["power_overhead_pct"],
+        area_overhead_pct=data["area_overhead_pct"],
+        n_stt=data["n_stt"],
+        size=data["size"],
+    )
+
+
+def security_report(row: Mapping[str, Any]) -> SecurityReport:
+    """Rebuild the Fig. 3 :class:`SecurityReport` from an ``ok`` row that
+    ran the ``security`` analysis."""
+    data = (row.get("metrics") or {}).get("security")
+    if data is None:
+        raise ValueError("row has no 'security' analysis to rebuild from")
+    return SecurityReport(
+        circuit=row["trial"]["circuit"],
+        algorithm=row["trial"]["algorithm"],
+        n_missing=data["n_missing"],
+        accessible_inputs=data["accessible_inputs"],
+        circuit_depth=data["circuit_depth"],
+        log10_n_indep=data["log10_n_indep"],
+        log10_n_dep=data["log10_n_dep"],
+        log10_n_bf=data["log10_n_bf"],
+    )
+
+
+def group_rows(
+    rows: Iterable[Mapping[str, Any]],
+    by: Sequence[str] = ("circuit", "algorithm"),
+) -> "OrderedDict[Tuple, List[Mapping[str, Any]]]":
+    """Group rows by trial fields, preserving first-seen order."""
+    groups: "OrderedDict[Tuple, List[Mapping[str, Any]]]" = OrderedDict()
+    for row in rows:
+        key = tuple(row["trial"][field] for field in by)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def _metric(row: Mapping[str, Any], path: str) -> Optional[float]:
+    node: Any = row.get("metrics") or {}
+    for part in path.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def mean_std(values: Sequence[float]) -> str:
+    """``μ±σ`` rendering used by the variance tables."""
+    if not values:
+        return "-"
+    if len(values) == 1:
+        return f"{values[0]:.1f}"
+    return f"{statistics.mean(values):.1f}±{statistics.stdev(values):.1f}"
+
+
+#: Default summary columns: (header, metrics path) pairs.
+SUMMARY_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("delay %", "overhead.performance_degradation_pct"),
+    ("power %", "overhead.power_overhead_pct"),
+    ("area %", "overhead.area_overhead_pct"),
+    ("#STT", "n_stt"),
+)
+
+ATTACK_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("atk ok", "attack.success"),
+    ("queries", "attack.oracle_queries"),
+    ("clocks", "attack.test_clocks"),
+)
+
+
+def summarize(
+    rows: Sequence[Mapping[str, Any]],
+    by: Sequence[str] = ("circuit", "algorithm"),
+    columns: Optional[Sequence[Tuple[str, str]]] = None,
+) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+    """Aggregate ok-rows into (headers, table rows): one output row per
+    group, metric cells averaged (μ±σ across seeds where n > 1)."""
+    ok = [r for r in rows if r.get("status") == "ok"]
+    if columns is None:
+        columns = list(SUMMARY_COLUMNS)
+        if any(_metric(r, "attack.attack") for r in ok):
+            columns += list(ATTACK_COLUMNS)
+    headers = [*by, "trials", *(header for header, _ in columns)]
+    out: List[Tuple[Any, ...]] = []
+    for key, group in group_rows(ok, by).items():
+        cells: List[Any] = [*key, len(group)]
+        for _, path in columns:
+            values = [
+                float(v)
+                for v in (_metric(row, path) for row in group)
+                if v is not None
+            ]
+            cells.append(mean_std(values))
+        out.append(tuple(cells))
+    return headers, out
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    by: Sequence[str] = ("circuit", "algorithm"),
+    title: str = "sweep summary",
+) -> str:
+    """Render ok-rows as a fixed-width summary table (the CLI's
+    ``--format table``)."""
+    headers, table_rows = summarize(rows, by)
+    return format_table(
+        headers, table_rows, title=title, align_left_columns=len(by)
+    )
+
+
+#: Flat columns for CSV export, in order: (header, row path).
+_CSV_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("circuit", "trial.circuit"),
+    ("algorithm", "trial.algorithm"),
+    ("seed", "trial.seed"),
+    ("attack", "trial.attack"),
+    ("status", "status"),
+    ("size", "metrics.size"),
+    ("n_stt", "metrics.n_stt"),
+    ("key_bits", "metrics.key_bits"),
+    ("delay_pct", "metrics.overhead.performance_degradation_pct"),
+    ("power_pct", "metrics.overhead.power_overhead_pct"),
+    ("area_pct", "metrics.overhead.area_overhead_pct"),
+    ("log10_n_indep", "metrics.security.log10_n_indep"),
+    ("log10_n_dep", "metrics.security.log10_n_dep"),
+    ("log10_n_bf", "metrics.security.log10_n_bf"),
+    ("attack_success", "metrics.attack.success"),
+    ("oracle_queries", "metrics.attack.oracle_queries"),
+    ("test_clocks", "metrics.attack.test_clocks"),
+    ("select_seconds", "timing.select_seconds"),
+)
+
+
+def _row_path(row: Mapping[str, Any], path: str) -> Any:
+    node: Any = row
+    for part in path.split("."):
+        if not isinstance(node, Mapping) or node.get(part) is None:
+            return ""
+        node = node[part]
+    return node
+
+
+def render_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Flatten rows (including failed ones) to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([header for header, _ in _CSV_FIELDS])
+    for row in rows:
+        writer.writerow([_row_path(row, path) for _, path in _CSV_FIELDS])
+    return buffer.getvalue()

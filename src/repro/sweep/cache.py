@@ -1,0 +1,107 @@
+"""Content-addressed, resumable result store for sweep trials.
+
+A trial's cache key is the sha256 of its full causal input:
+
+* the **netlist content hash** (sha256 of the circuit's canonical
+  ``.bench`` text — editing a benchmark file or bumping the generator
+  seed invalidates exactly its rows);
+* the **trial identity** (algorithm + params, seed, attack + params,
+  analyses — see :meth:`repro.sweep.spec.Trial.identity`);
+* the **code version** (``repro.__version__`` plus this module's result
+  schema number, so upgrading the package never serves stale rows).
+
+Rows are JSON documents, one file per trial, fanned out over 256
+two-hex-digit subdirectories (the git-object layout).  Writes are atomic
+(temp file + ``os.replace``), so a sweep killed mid-write never corrupts
+the store and an interrupted sweep *resumes*: re-running the same spec
+serves completed trials from disk and executes only the missing ones.
+
+Failed trials are deliberately **not** cached — a resume retries them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .spec import Trial, canonical_json
+
+#: Bump when the row schema changes shape; part of every cache key.
+RESULT_SCHEMA = 1
+
+
+def _code_version() -> str:
+    from .. import __version__
+
+    return f"{__version__}/schema{RESULT_SCHEMA}"
+
+
+def netlist_sha(bench_text: str) -> str:
+    """Content hash of a circuit: sha256 of its canonical ``.bench`` text."""
+    return hashlib.sha256(bench_text.encode()).hexdigest()
+
+
+def trial_key(trial: Trial, netlist_hash: str) -> str:
+    """The content address of one trial's result row."""
+    payload = {
+        "netlist_sha": netlist_hash,
+        "trial": trial.identity(),
+        "code": _code_version(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk row store; ``None``-safe (a disabled cache misses always)."""
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.root = Path(cache_dir)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached row for *key*, or ``None`` (missing or unreadable —
+        a corrupt file is treated as a miss and overwritten on put)."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, row: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(row, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem

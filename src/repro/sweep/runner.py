@@ -1,0 +1,336 @@
+"""The sweep engine: serial or process-parallel trial execution.
+
+Design:
+
+* **Chunked scheduling** — pending trials are grouped circuit-major into
+  chunks and each chunk is one pool task, so a worker amortises its warm
+  caches (netlist + compiled simulator, see :mod:`repro.sweep.trial`)
+  over many trials of the same circuit instead of ping-ponging between
+  circuits, and the per-task IPC overhead is paid once per chunk.
+* **Graceful failure** — a trial that raises becomes a ``failed`` row
+  (handled inside the worker); a worker process that *dies* (OOM-killed,
+  segfault in a native wheel, ``os._exit``) breaks the pool, and the
+  runner falls back to executing every still-unfinished trial serially
+  in the parent.  A sweep always returns one row per trial.
+* **Resume** — with a :class:`~repro.sweep.cache.ResultCache`, completed
+  trials are served from disk and only the missing ones execute.  Cached
+  and fresh rows are bit-identical in their canonical view (timing is
+  the only non-deterministic field, and it is excluded — see
+  :func:`repro.sweep.trial.canonical_row`).
+* **Determinism** — rows come back in spec order regardless of worker
+  count or completion order, and each trial seeds its own RNG streams
+  from its identity, so ``workers=N`` and ``workers=1`` produce
+  identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache, trial_key
+from .spec import SweepSpec, Trial
+from .trial import canonical_row, circuit_sha, run_trial
+
+#: Progress callbacks receive one of these per completed trial.
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one sweep run."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    def summary(self) -> str:
+        return (
+            f"sweep: {self.total} trials: {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"in {self.wall_seconds:.1f}s ({self.workers} workers)"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep, in spec order, plus execution stats."""
+
+    spec: SweepSpec
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def ok_rows(self) -> List[Dict[str, Any]]:
+        return [r for r in self.rows if r.get("status") == "ok"]
+
+    def failed_rows(self) -> List[Dict[str, Any]]:
+        return [r for r in self.rows if r.get("status") != "ok"]
+
+    def canonical_rows(self) -> List[Dict[str, Any]]:
+        """The deterministic view used for serial/parallel equivalence."""
+        return [canonical_row(r) for r in self.rows]
+
+
+def _run_chunk(trials: Sequence[Trial]) -> List[Dict[str, Any]]:
+    """Pool task: execute a chunk of trials in one worker."""
+    return [run_trial(t) for t in trials]
+
+
+def _chunked(
+    pending: List[Tuple[int, Trial]], workers: int, chunksize: Optional[int]
+) -> List[List[Tuple[int, Trial]]]:
+    """Split pending trials into pool tasks, circuit-major for warm-cache
+    locality, sized so every worker gets several chunks (load balance)."""
+    ordered = sorted(
+        pending, key=lambda item: (item[1].circuit, item[1].algorithm, item[0])
+    )
+    if chunksize is None:
+        chunksize = max(1, min(len(ordered) // (workers * 4) or 1, 32))
+    return [
+        ordered[i : i + chunksize] for i in range(0, len(ordered), chunksize)
+    ]
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec`; see the module docstring."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        resume: bool = True,
+        progress: Optional[ProgressFn] = None,
+        chunksize: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.resume = resume
+        self.progress = progress
+        self.chunksize = chunksize
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        start = time.perf_counter()
+        trials = spec.trials()
+        stats = SweepStats(total=len(trials), workers=self.workers)
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(trials)
+        keys: List[Optional[str]] = [None] * len(trials)
+
+        # Resolve circuits (parent-side, memoized per distinct circuit) so
+        # every trial has a content-addressed key; a circuit that cannot
+        # even be loaded fails its trials up front.
+        pending: List[Tuple[int, Trial]] = []
+        for index, trial in enumerate(trials):
+            try:
+                sha = circuit_sha(trial.circuit, trial.gen_seed)
+            except Exception as exc:  # noqa: BLE001 - recorded as data
+                rows[index] = self._failed_row(trial, exc)
+                continue
+            keys[index] = trial_key(trial, sha)
+            cached = None
+            if self.cache is not None and self.resume:
+                cached = self.cache.get(keys[index])
+            if cached is not None and cached.get("status") == "ok":
+                cached.setdefault("timing", {})["from_cache"] = True
+                rows[index] = cached
+                stats.cached += 1
+            else:
+                pending.append((index, trial))
+
+        self._emit_initial(rows, stats, start)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                self._run_serial(pending, rows, keys, stats, start)
+            else:
+                self._run_parallel(pending, rows, keys, stats, start)
+
+        stats.failed = sum(
+            1 for row in rows if row is not None and row["status"] != "ok"
+        )
+        stats.wall_seconds = time.perf_counter() - start
+        assert all(row is not None for row in rows)
+        return SweepResult(spec=spec, rows=list(rows), stats=stats)
+
+    # ------------------------------------------------------------------
+    def _failed_row(self, trial: Trial, exc: BaseException) -> Dict[str, Any]:
+        from .cache import RESULT_SCHEMA
+
+        return {
+            "schema": RESULT_SCHEMA,
+            "trial": trial.identity(),
+            "netlist_sha": None,
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "metrics": None,
+            "timing": {},
+        }
+
+    def _record(
+        self,
+        index: int,
+        trial: Trial,
+        row: Dict[str, Any],
+        rows: List[Optional[Dict[str, Any]]],
+        keys: List[Optional[str]],
+        stats: SweepStats,
+        start: float,
+    ) -> None:
+        rows[index] = row
+        stats.executed += 1
+        if (
+            self.cache is not None
+            and keys[index] is not None
+            and row.get("status") == "ok"
+        ):
+            # Failures are not cached: a resume retries them.
+            self.cache.put(keys[index], row)
+        self._emit(trial, row, rows, stats, start)
+
+    def _emit_initial(self, rows, stats: SweepStats, start: float) -> None:
+        if self.progress is None or stats.cached == 0:
+            return
+        self.progress(
+            {
+                "event": "resume",
+                "done": sum(1 for r in rows if r is not None),
+                "total": stats.total,
+                "cached": stats.cached,
+                "elapsed": time.perf_counter() - start,
+            }
+        )
+
+    def _emit(
+        self,
+        trial: Trial,
+        row: Dict[str, Any],
+        rows,
+        stats: SweepStats,
+        start: float,
+    ) -> None:
+        if self.progress is None:
+            return
+        done = sum(1 for r in rows if r is not None)
+        elapsed = time.perf_counter() - start
+        remaining = stats.total - done
+        eta = (
+            elapsed / max(stats.executed, 1) * remaining
+            if remaining
+            else 0.0
+        )
+        self.progress(
+            {
+                "event": "trial",
+                "label": trial.label(),
+                "status": row.get("status"),
+                "done": done,
+                "total": stats.total,
+                "elapsed": elapsed,
+                "eta": eta,
+                "trial_seconds": row.get("timing", {}).get(
+                    "trial_seconds", 0.0
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, pending, rows, keys, stats: SweepStats, start: float
+    ) -> None:
+        for index, trial in pending:
+            if rows[index] is not None:
+                continue
+            self._record(
+                index, trial, run_trial(trial), rows, keys, stats, start
+            )
+
+    def _run_parallel(
+        self, pending, rows, keys, stats: SweepStats, start: float
+    ) -> None:
+        chunks = _chunked(pending, self.workers, self.chunksize)
+        broken = False
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(_run_chunk, [t for _, t in chunk]): chunk
+                    for chunk in chunks
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        chunk = futures[future]
+                        exc = future.exception()
+                        if exc is None:
+                            for (index, trial), row in zip(
+                                chunk, future.result()
+                            ):
+                                self._record(
+                                    index, trial, row, rows, keys, stats,
+                                    start,
+                                )
+                        elif isinstance(exc, BrokenProcessPool):
+                            broken = True
+                        else:
+                            # The chunk failed as a unit (e.g. a result
+                            # that would not pickle): fail its trials.
+                            for index, trial in chunk:
+                                self._record(
+                                    index,
+                                    trial,
+                                    self._failed_row(trial, exc),
+                                    rows, keys, stats, start,
+                                )
+                    if broken:
+                        break
+        except BrokenProcessPool:
+            broken = True
+        if broken:
+            # A worker died hard and took the pool with it.  Whatever has
+            # no row yet — the crashed chunk and everything still queued —
+            # runs serially in the parent, where a per-trial failure is
+            # captured as data instead of killing the sweep.
+            leftovers = [
+                (index, trial)
+                for index, trial in pending
+                if rows[index] is None
+            ]
+            self._run_serial(leftovers, rows, keys, stats, start)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
+    chunksize: Optional[int] = None,
+) -> SweepResult:
+    """Convenience wrapper: build a :class:`SweepRunner` and run *spec*."""
+    runner = SweepRunner(
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+        chunksize=chunksize,
+    )
+    return runner.run(spec)
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPU count, capped at 8 (the sweeps
+    are memory-light but the benchmark grids rarely have more than a few
+    dozen independent cells per circuit)."""
+    return min(os.cpu_count() or 1, 8)

@@ -1,0 +1,120 @@
+"""ConfiguredOracle query memoization.
+
+The memo saves *simulation* work, never attacker cost: ``queries`` and
+``test_clocks`` count every applied pattern, replays included (the
+paper's Eq. 1–3 bound applied patterns, and a physical chip charges for
+each application).  ``sim_evaluations``/``cache_hits`` expose the split.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import ConfiguredOracle, SatAttack
+from repro.circuits import load_benchmark
+from repro.locking import ALGORITHMS
+
+
+def _locked_oracle(scan=True):
+    netlist = load_benchmark("s27")
+    result = ALGORITHMS["independent"](seed=3).run(netlist)
+    return result, ConfiguredOracle(result.hybrid, scan=scan)
+
+
+def test_replayed_query_is_memoized_but_still_billed():
+    _, oracle = _locked_oracle()
+    pis = {pi: 1 for pi in oracle.netlist.inputs}
+    state = {ff: 0 for ff in oracle.netlist.flip_flops}
+
+    first = oracle.query(pis, state)
+    assert (oracle.queries, oracle.test_clocks) == (1, 1)
+    assert (oracle.sim_evaluations, oracle.cache_hits) == (1, 0)
+
+    replay = oracle.query(pis, state)
+    assert replay == first
+    # Attacker cost counts the replay; simulation count does not.
+    assert (oracle.queries, oracle.test_clocks) == (2, 2)
+    assert (oracle.sim_evaluations, oracle.cache_hits) == (1, 1)
+
+    different = oracle.query({pi: 0 for pi in oracle.netlist.inputs}, state)
+    assert oracle.sim_evaluations == 2
+    assert different != first or len(first) == 0
+
+
+def test_functional_access_replay_costs_depth_clocks():
+    _, oracle = _locked_oracle(scan=False)
+    pis = {pi: 0 for pi in oracle.netlist.inputs}
+    oracle.query(pis)
+    oracle.query(pis)
+    assert oracle.cache_hits == 1
+    assert oracle.test_clocks == 2 * oracle.depth
+
+
+def test_returned_rows_are_isolated_copies():
+    _, oracle = _locked_oracle()
+    pis = {pi: 1 for pi in oracle.netlist.inputs}
+    state = {ff: 0 for ff in oracle.netlist.flip_flops}
+    first = oracle.query(pis, state)
+    pristine = dict(first)
+    first[next(iter(first))] = 999  # caller scribbles on its copy
+    assert oracle.query(pis, state) == pristine
+
+
+def test_reprogramming_a_lut_invalidates_the_memo():
+    result, oracle = _locked_oracle()
+    pis = {pi: 1 for pi in oracle.netlist.inputs}
+    state = {ff: 0 for ff in oracle.netlist.flip_flops}
+    oracle.query(pis, state)
+
+    lut = oracle.netlist.node(result.replaced[0])
+    original = lut.lut_config
+    lut.lut_config = original ^ ((1 << (1 << lut.n_inputs)) - 1)  # invert
+    inverted = oracle.query(pis, state)
+    assert oracle.cache_hits == 0
+    assert oracle.sim_evaluations == 2
+
+    lut.lut_config = original
+    restored = oracle.query(pis, state)
+    assert inverted != restored
+    assert oracle.sim_evaluations == 3
+
+
+def test_width_is_part_of_the_key():
+    _, oracle = _locked_oracle()
+    pis = {pi: 0 for pi in oracle.netlist.inputs}
+    state = {ff: 0 for ff in oracle.netlist.flip_flops}
+    oracle.query(pis, state, width=1)
+    oracle.query(pis, state, width=2)
+    assert oracle.sim_evaluations == 2
+    assert oracle.queries == 3  # 1 + 2 patterns
+
+    oracle.reset_counters()
+    assert (oracle.queries, oracle.cache_hits) == (0, 0)
+    # The memo survives a counter reset (the attacker's notes persist).
+    oracle.query(pis, state, width=1)
+    assert oracle.cache_hits == 1
+
+
+def test_sat_attack_cost_identical_with_memo():
+    """The memo must not change any attack-cost figure: re-running the
+    same SAT attack yields the same queries/clocks/iterations as a fresh
+    oracle (the counters are pure functions of the attack transcript)."""
+    result, oracle_a = _locked_oracle()
+    foundry = result.foundry_view()
+    outcome_a = SatAttack(foundry, oracle_a).run()
+    _, oracle_b = _locked_oracle()
+    outcome_b = SatAttack(result.foundry_view(), oracle_b).run()
+    assert outcome_a.iterations == outcome_b.iterations
+    assert outcome_a.oracle_queries == outcome_b.oracle_queries
+    assert outcome_a.test_clocks == outcome_b.test_clocks
+
+
+def test_capped_sat_attack_reports_solver_conflicts():
+    """The gave-up path must report the solver's work, not zero."""
+    result, oracle = _locked_oracle()
+    attack = SatAttack(result.foundry_view(), oracle, max_iterations=1)
+    outcome = attack.run()
+    assert outcome.gave_up and not outcome.success
+    assert outcome.iterations == 1
+    assert outcome.solver_conflicts >= 0
+    # The counters mirror the oracle's bill at give-up time.
+    assert outcome.oracle_queries == oracle.queries
+    assert outcome.test_clocks == oracle.test_clocks

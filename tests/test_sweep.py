@@ -1,0 +1,359 @@
+"""The sweep engine: spec expansion, determinism, cache resume, failure
+handling, aggregation, and the ``repro-lock sweep`` CLI."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.circuits import S27_BENCH
+from repro.cli import main
+from repro.sweep import (
+    ResultCache,
+    SweepSpec,
+    Trial,
+    canonical_row,
+    derive_seed,
+    overhead_report,
+    render_csv,
+    render_table,
+    run_sweep,
+    run_trial,
+    security_report,
+    summarize,
+    trial_key,
+)
+from repro.sweep import runner as runner_mod
+
+SMALL_SPEC = SweepSpec(
+    circuits=("s27",),
+    algorithms=("independent", "parametric"),
+    seeds=(0, 1, 2),
+    attacks=("none", "sat"),
+)
+
+
+# ----------------------------------------------------------------------
+# spec expansion and seeding
+# ----------------------------------------------------------------------
+def test_spec_expands_in_deterministic_order():
+    trials = SMALL_SPEC.trials()
+    assert len(trials) == 1 * 2 * 3 * 2
+    assert trials == SMALL_SPEC.trials()
+    # circuit-major, then algorithm, attack, seed.
+    assert [t.seed for t in trials[:3]] == [0, 1, 2]
+    assert trials[0].algorithm == trials[5].algorithm == "independent"
+    assert trials[6].algorithm == "parametric"
+
+
+def test_spec_rejects_unknown_values():
+    with pytest.raises(ValueError):
+        SweepSpec(circuits=("s27",), attacks=("zero-day",))
+    with pytest.raises(ValueError):
+        SweepSpec(circuits=("s27",), analyses=("vibes",))
+    with pytest.raises(ValueError):
+        SweepSpec.from_dict({"circuits": ["s27"], "chunk": 4})
+    with pytest.raises(ValueError):
+        SweepSpec.from_dict({})
+
+
+def test_spec_round_trips_through_json():
+    spec = SweepSpec(
+        circuits=("s27", "s641"),
+        seeds=(1, 2),
+        attacks=("sat",),
+        attack_params={"sat": {"max_iterations": 8}},
+    )
+    clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone.trials() == spec.trials()
+
+
+def test_derived_seeds_are_stable_and_distinct():
+    trials = SMALL_SPEC.trials()
+    assert trials[0].attack_seed == trials[0].attack_seed
+    assert len({t.attack_seed for t in trials}) == len(trials)
+    assert derive_seed("a") != derive_seed("b")
+
+
+# ----------------------------------------------------------------------
+# determinism: serial ≡ parallel ≡ cached
+# ----------------------------------------------------------------------
+def test_parallel_rows_identical_to_serial(tmp_path):
+    serial = run_sweep(SMALL_SPEC, workers=1, cache_dir=tmp_path / "a")
+    parallel = run_sweep(SMALL_SPEC, workers=4, cache_dir=tmp_path / "b")
+    assert serial.stats.executed == parallel.stats.executed == 12
+    assert not serial.failed_rows()
+    assert serial.canonical_rows() == parallel.canonical_rows()
+
+
+def test_canonical_row_strips_only_nondeterministic_fields():
+    row = run_trial(SMALL_SPEC.trials()[0])
+    assert "trial_seconds" in row["timing"]
+    canonical = canonical_row(row)
+    assert "timing" not in canonical
+    assert canonical["metrics"] == row["metrics"]
+    assert canonical_row(None) is None
+
+
+# ----------------------------------------------------------------------
+# cache + resume
+# ----------------------------------------------------------------------
+def test_resume_executes_only_missing_trials(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = SweepSpec(circuits=("s27",), seeds=(0, 1))
+    partial = run_sweep(first, cache_dir=cache_dir)
+    assert partial.stats.executed == 6
+
+    superset = SweepSpec(circuits=("s27",), seeds=(0, 1, 2))
+    resumed = run_sweep(superset, cache_dir=cache_dir)
+    assert resumed.stats.cached == 6
+    assert resumed.stats.executed == 3  # only the seed-2 trials
+    cached_rows = [
+        r for r in resumed.rows if r["timing"].get("from_cache")
+    ]
+    assert len(cached_rows) == 6
+
+    # A cached row is bit-identical to its freshly executed counterpart.
+    fresh = run_sweep(superset, cache_dir=tmp_path / "fresh")
+    assert resumed.canonical_rows() == fresh.canonical_rows()
+
+
+def test_no_resume_reruns_but_still_records(tmp_path):
+    cache_dir = tmp_path / "cache"
+    spec = SweepSpec(circuits=("s27",), algorithms=("independent",))
+    run_sweep(spec, cache_dir=cache_dir)
+    rerun = run_sweep(spec, cache_dir=cache_dir, resume=False)
+    assert rerun.stats.cached == 0 and rerun.stats.executed == 1
+
+
+def test_cache_disabled_every_trial_executes(tmp_path):
+    spec = SweepSpec(circuits=("s27",), algorithms=("independent",))
+    assert run_sweep(spec).stats.executed == 1
+    assert run_sweep(spec).stats.executed == 1
+
+
+def test_cache_key_is_content_addressed(tmp_path):
+    trial = SMALL_SPEC.trials()[0]
+    key = trial_key(trial, "a" * 64)
+    assert key == trial_key(trial, "a" * 64)
+    # Any coordinate of the causal input moves the key.
+    assert key != trial_key(trial, "b" * 64)  # netlist content
+    for change in (
+        {"seed": 99},
+        {"algorithm": "dependent"},
+        {"attack": "brute"},
+        {"params": (("decoy_inputs", 2),)},
+        {"analyses": ("ppa",)},
+    ):
+        other = Trial(**{**trial.__dict__, **change})
+        assert key != trial_key(other, "a" * 64), change
+
+
+def test_editing_a_bench_file_invalidates_its_rows(tmp_path):
+    path = tmp_path / "c.bench"
+    path.write_text(S27_BENCH)
+    spec = SweepSpec(circuits=(str(path),), algorithms=("independent",))
+    cache_dir = tmp_path / "cache"
+    run_sweep(spec, cache_dir=cache_dir)
+
+    # Comment/formatting edits don't invalidate (canonical serialisation)…
+    path.write_text("# a comment\n" + S27_BENCH)
+    from repro.sweep.trial import _NETLIST_MEMO, _SHA_MEMO
+
+    _NETLIST_MEMO.clear(), _SHA_MEMO.clear()
+    assert run_sweep(spec, cache_dir=cache_dir).stats.cached == 1
+
+    # …but structural edits do.
+    path.write_text(S27_BENCH.replace("G14 = NOT(G0)", "G14 = BUF(G0)"))
+    _NETLIST_MEMO.clear(), _SHA_MEMO.clear()
+    edited = run_sweep(spec, cache_dir=cache_dir)
+    assert edited.stats.cached == 0 and edited.stats.executed == 1
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ab" * 32, {"status": "ok"})
+    assert cache.get("ab" * 32) == {"status": "ok"}
+    assert len(cache) == 1
+    cache._path("ab" * 32).write_text("{not json")
+    assert cache.get("ab" * 32) is None
+    assert cache.get("cd" * 32) is None
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+def test_failed_trial_is_recorded_not_fatal(tmp_path):
+    spec = SweepSpec(
+        circuits=("s27", "no_such_circuit"), algorithms=("independent",)
+    )
+    result = run_sweep(spec, cache_dir=tmp_path / "cache")
+    assert result.stats.total == 2 and result.stats.failed == 1
+    (failed,) = result.failed_rows()
+    assert failed["trial"]["circuit"] == "no_such_circuit"
+    assert "no_such_circuit" in failed["error"]
+    assert len(result.ok_rows()) == 1
+
+    # Failures are not cached: a resume retries them (and only them).
+    retry = run_sweep(spec, cache_dir=tmp_path / "cache")
+    assert retry.stats.cached == 1 and retry.stats.failed == 1
+
+
+def test_algorithm_error_inside_worker_is_captured():
+    spec = SweepSpec(circuits=("s27",), algorithms=("made_up_algo",))
+    result = run_sweep(spec, workers=2)
+    (row,) = result.rows
+    assert row["status"] == "failed"
+    assert "made_up_algo" in row["error"]
+
+
+def test_broken_pool_falls_back_to_serial(monkeypatch, tmp_path):
+    """A worker that dies hard breaks the pool; the runner must still
+    return one row per trial by finishing serially in the parent."""
+
+    class ExplodingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args, **kwargs):
+            from concurrent.futures import Future
+
+            future = Future()
+            future.set_exception(BrokenProcessPool("worker died"))
+            return future
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
+    result = run_sweep(SMALL_SPEC, workers=3, cache_dir=tmp_path / "c")
+    assert result.stats.total == 12
+    assert not result.failed_rows()
+    fresh = run_sweep(SMALL_SPEC, workers=1, cache_dir=tmp_path / "d")
+    assert result.canonical_rows() == fresh.canonical_rows()
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def test_reports_rebuild_from_rows():
+    row = run_trial(SweepSpec(circuits=("s27",)).trials()[0])
+    overhead = overhead_report(row)
+    assert overhead.circuit == "s27" and overhead.n_stt == 5
+    security = security_report(row)
+    assert security.n_missing == 5
+    assert security.log10_test_clocks("independent") > 0
+
+
+def test_summarize_and_renderers():
+    result = run_sweep(
+        SweepSpec(circuits=("s27",), algorithms=("independent",), seeds=(0, 1))
+    )
+    headers, rows = summarize(result.rows)
+    assert headers[:2] == ["circuit", "algorithm"]
+    assert rows[0][:3] == ("s27", "independent", 2)
+    table = render_table(result.rows)
+    assert "s27" in table and "±" in table
+    csv_text = render_csv(result.rows)
+    assert csv_text.count("\n") == 3  # header + 2 rows
+    assert "independent" in csv_text
+
+
+# ----------------------------------------------------------------------
+# progress + CLI
+# ----------------------------------------------------------------------
+def test_progress_events_and_eta(tmp_path):
+    events = []
+    spec = SweepSpec(circuits=("s27",), seeds=(0, 1))
+    run_sweep(spec, cache_dir=tmp_path / "c", progress=events.append)
+    trial_events = [e for e in events if e["event"] == "trial"]
+    assert len(trial_events) == 6
+    assert trial_events[-1]["done"] == trial_events[-1]["total"] == 6
+    assert trial_events[-1]["eta"] == 0.0
+    assert all(e["eta"] >= 0.0 for e in trial_events)
+
+    events.clear()
+    run_sweep(spec, cache_dir=tmp_path / "c", progress=events.append)
+    resume = events[0]
+    assert resume["event"] == "resume"
+    assert resume["done"] == resume["total"] == resume["cached"] == 6
+
+
+def test_cli_sweep_runs_and_resumes(tmp_path, capsys):
+    out = tmp_path / "rows.json"
+    argv = [
+        "sweep",
+        "--circuits", "s27",
+        "--algorithms", "independent,parametric",
+        "--seeds", "0:2",
+        "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--format", "json",
+        "--out", str(out),
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    payload = json.loads(out.read_text())
+    assert payload["stats"]["executed"] == 4
+    assert {row["status"] for row in payload["rows"]} == {"ok"}
+
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "4 cached" in captured.err
+    warm = json.loads(out.read_text())
+    assert warm["stats"]["cached"] == 4 and warm["stats"]["executed"] == 0
+
+
+def test_cli_sweep_spec_file_and_table(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps(
+            {"circuits": ["s27"], "algorithms": ["independent"], "seeds": [0]}
+        )
+    )
+    assert (
+        main(
+            [
+                "sweep",
+                "--spec", str(spec_path),
+                "--no-cache",
+                "--workers", "1",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "s27" in captured.out and "independent" in captured.out
+
+
+def test_cli_sweep_exit_code_on_failure(tmp_path):
+    assert (
+        main(
+            [
+                "sweep",
+                "--circuits", "s27,bogus",
+                "--algorithms", "independent",
+                "--seeds", "5",
+                "--workers", "1",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        == 1
+    )
+
+
+def test_cli_seed_range_parsing():
+    from repro.cli import _parse_int_list
+
+    assert _parse_int_list("0:4") == [0, 1, 2, 3]
+    assert _parse_int_list("7") == [7]
+    assert _parse_int_list("0:2,9") == [0, 1, 9]
+    with pytest.raises(SystemExit):
+        _parse_int_list(" , ")
