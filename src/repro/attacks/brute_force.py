@@ -32,6 +32,10 @@ class BruteForceResult:
     test_clocks: int = 0
     exhausted_budget: bool = False
     survivors: List[Dict[str, int]] = field(default_factory=list)
+    #: True when several survivors remained but were proved pairwise
+    #: functionally equivalent (an unobservable/masked missing gate), so
+    #: any of them is a working key.
+    interchangeable_survivors: bool = False
 
     @property
     def success(self) -> bool:
@@ -124,11 +128,39 @@ class BruteForceAttack:
         result.survivors = survivors
         if len(survivors) == 1:
             result.found = survivors[0]
+        elif survivors and self._interchangeable(working, survivors):
+            # Indistinguishable survivors that are *functionally equivalent*
+            # (the missing gate is masked or feeds dead logic): every one of
+            # them is a working key, so the attack has succeeded.  This is
+            # attacker-side reasoning on the foundry netlist alone — it
+            # costs no oracle queries and no test clocks.
+            result.found = survivors[0]
+            result.interchangeable_survivors = True
         result.oracle_queries = self.oracle.queries
         result.test_clocks = self.oracle.test_clocks
         return result
 
     # ------------------------------------------------------------------
+    def _interchangeable(
+        self, working: Netlist, survivors: Sequence[Dict[str, int]]
+    ) -> bool:
+        """True when every survivor programs the foundry netlist to the
+        same boolean function (proved with the SAT equivalence checker on
+        the attacker's own copy — no oracle access involved)."""
+        from ..sat.equivalence import check_equivalence
+
+        def programmed(hypothesis: Dict[str, int]) -> Netlist:
+            candidate = working.copy(f"{working.name}_h")
+            for name, config in hypothesis.items():
+                candidate.node(name).lut_config = config
+            return candidate
+
+        reference = programmed(survivors[0])
+        for hypothesis in survivors[1:]:
+            if not check_equivalence(reference, programmed(hypothesis)):
+                return False
+        return True
+
     def _draw_patterns(self, count: int) -> List[Dict[str, int]]:
         startpoints = list(self.netlist.inputs) + list(self.netlist.flip_flops)
         return [

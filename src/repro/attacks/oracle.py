@@ -42,9 +42,10 @@ class ConfiguredOracle:
     replays of a pattern already applied** — the oracle models a physical
     chip, and re-applying a known pattern still occupies the tester for a
     clock.  What a replay does *not* cost is simulation time on our side:
-    :meth:`query` memoizes results on (inputs, state, width), so repeated
-    distinguishing-input replays across attack rounds are served from
-    memory.  ``sim_evaluations`` counts actual simulator calls and
+    :meth:`query` memoizes responses per individual pattern (one word
+    lane), so repeated distinguishing-input replays are served from memory
+    even when re-applied at a different packing width.
+    ``sim_evaluations`` counts actual simulator calls and
     ``cache_hits`` counts memoized replays; ``queries`` is always their
     sum, and attack-cost figures are bit-identical with or without the
     memo.
@@ -117,24 +118,41 @@ class ConfiguredOracle:
         if epoch != self._memo_epoch:
             self._memo.clear()
             self._memo_epoch = epoch
-        key = (
-            width,
-            tuple(sorted(inputs.items())),
-            tuple(sorted(state.items())) if state else (),
-        )
-        cached = self._memo.get(key)
-        if cached is not None:
+        # The memo is keyed per *pattern* (one lane), not per packed word:
+        # a width-4 word followed by a width-1 replay of one of its lanes
+        # (or the same lanes re-packed at a different width) is still a
+        # memo hit.  Keying on (width, words) used to fragment the store.
+        input_items = tuple(sorted(inputs.items()))
+        state_items = tuple(sorted(state.items())) if state else ()
+        lane_keys = [
+            (
+                tuple((net, (word >> lane) & 1) for net, word in input_items),
+                tuple((net, (word >> lane) & 1) for net, word in state_items),
+            )
+            for lane in range(width)
+        ]
+        cached_rows = [self._memo.get(key) for key in lane_keys]
+        if all(row is not None for row in cached_rows):
             self.cache_hits += 1
-            return dict(cached)
+            return {
+                net: sum(
+                    (row[net] & 1) << lane
+                    for lane, row in enumerate(cached_rows)
+                )
+                for net in cached_rows[0]
+            }
         values = self._comb.evaluate(inputs, state, width)
         self.sim_evaluations += 1
         result = {po: values[po] for po in self.netlist.outputs}
         for ff in self.netlist.flip_flops:
             d_pin = self.netlist.node(ff).fanin[0]
             result[d_pin] = values[d_pin]
-        if len(self._memo) >= _MEMO_LIMIT:
+        if len(self._memo) + width > _MEMO_LIMIT:
             self._memo.clear()
-        self._memo[key] = dict(result)
+        for lane, key in enumerate(lane_keys):
+            self._memo[key] = {
+                net: (word >> lane) & 1 for net, word in result.items()
+            }
         return result
 
     def observation_points(self) -> List[str]:

@@ -60,11 +60,16 @@ class TestingAttack:
         oracle: ConfiguredOracle,
         seed: int = 0,
         attempts_per_row: int = 48,
+        max_unknown_lanes: int = 12,
     ):
         self.netlist = foundry_netlist
         self.oracle = oracle
         self.rng = random.Random(seed)
         self.attempts_per_row = attempts_per_row
+        #: Measurements quantify over every assignment of the other
+        #: still-unknown LUT outputs (2^k simulation lanes); rows with more
+        #: than this many unknowns in play are deferred instead.
+        self.max_unknown_lanes = max_unknown_lanes
 
     def run(self, targets: Optional[List[str]] = None) -> TestingAttackResult:
         """Attack every (or the given) missing gate.
@@ -176,25 +181,56 @@ class TestingAttack:
         name: str,
         pattern: Dict[str, int],
     ) -> Optional[int]:
-        """Compare the oracle's response with the 0/1 hypotheses for *name*."""
-        pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
-        state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
-        # Hypothesis simulation needs every other unknown LUT pinned; an X
-        # elsewhere that reaches the observation point would confound the
-        # measurement.  Pin unknowns to 0 — justify() already ensured the
-        # target is observable under this pattern *given current knowledge*.
-        unknown = {
-            lut: 0
+        """Compare the oracle's response with the 0/1 hypotheses for *name*.
+
+        Other still-unknown LUTs cannot be pinned to a guessed constant:
+        on the real chip they hold their true (unknown) values, and a wrong
+        guess shifts both hypothesis simulations so the observation matches
+        the wrong one.  Instead every assignment of the unknown outputs is
+        simulated at once (one lane per assignment), and a bit is deduced
+        only when NO assignment can explain the chip's response under the
+        opposite hypothesis — the measurement is then sound regardless of
+        what the unknown gates actually compute.
+        """
+        others = sorted(
+            lut
             for lut in working.luts
             if working.node(lut).lut_config is None and lut != name
+        )
+        if len(others) > self.max_unknown_lanes:
+            # 2^k lanes would be unreasonable; the row waits until enough
+            # of the other LUTs resolve.  (Exactly the dependency that
+            # defeats this attack under dependent selection.)
+            return None
+        lanes = 1 << len(others)
+        mask = (1 << lanes) - 1
+        # One scan pattern, broadcast across all lanes; the lanes differ
+        # only in the unknown-LUT override words below.
+        pis = {pi: mask if pattern.get(pi, 0) else 0 for pi in working.inputs}
+        state = {
+            ff: mask if pattern.get(ff, 0) else 0 for ff in working.flip_flops
         }
-        low = comb.evaluate(pis, state, 1, overrides={**unknown, name: 0})
-        high = comb.evaluate(pis, state, 1, overrides={**unknown, name: 1})
-        observed = self.oracle.query(pis, state)
+        unknown = {}
+        for i, lut in enumerate(others):
+            word = 0
+            for lane in range(lanes):
+                if (lane >> i) & 1:
+                    word |= 1 << lane
+            unknown[lut] = word
+        low = comb.evaluate(pis, state, lanes, overrides={**unknown, name: 0})
+        high = comb.evaluate(pis, state, lanes, overrides={**unknown, name: mask})
+        observed = self.oracle.query(
+            {pi: pattern.get(pi, 0) for pi in working.inputs},
+            {ff: pattern.get(ff, 0) for ff in working.flip_flops},
+        )
+        consistent_low = mask
+        consistent_high = mask
         for point in self.oracle.observation_points():
-            if low[point] != high[point]:
-                if observed[point] == low[point]:
-                    return 0
-                if observed[point] == high[point]:
-                    return 1
+            observed_word = mask if observed[point] else 0
+            consistent_low &= ~(low[point] ^ observed_word) & mask
+            consistent_high &= ~(high[point] ^ observed_word) & mask
+        if consistent_low and not consistent_high:
+            return 0
+        if consistent_high and not consistent_low:
+            return 1
         return None

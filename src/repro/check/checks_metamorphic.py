@@ -1,0 +1,123 @@
+"""Metamorphic netlist invariants.
+
+A metamorphic check derives a *variant* netlist through a transformation
+that is supposed to preserve (or restore) the design's function, then
+confronts the two on identical stimulus:
+
+* techmap/simplify/LUT-replacement round-trips must preserve multi-cycle
+  sequential behavior at the primary outputs;
+* locking with any selection algorithm, stripping the configurations
+  (the foundry view), then re-programming with the extracted provisioning
+  bitstream must restore the original function exactly (proved by SAT,
+  not just sampled).
+"""
+
+from __future__ import annotations
+
+from ..locking import ALGORITHMS
+from ..lut.mapping import HybridMapper
+from ..netlist import simplify
+from ..netlist.techmap import decompose_to_max_fanin, map_to_nand
+from ..netlist.transform import replace_gates_with_luts
+from ..sat.equivalence import check_equivalence
+from ..sim.seqsim import functional_match
+from .core import CheckContext, register
+
+_TRANSFORMS = ("simplify", "techmap", "nand", "lut")
+
+
+@register(
+    name="metamorphic-roundtrip",
+    family="metamorphic",
+    description="techmap / simplify / LUT-replacement round-trips must "
+    "preserve sequential behavior at the primary outputs",
+    trial_divisor=3,
+)
+def metamorphic_roundtrip(ctx: CheckContext) -> None:
+    rng = ctx.rng
+    for trial in range(ctx.trials):
+        base = ctx.netlist()
+        variant = base.copy(base.name + "_variant")
+        transform = _TRANSFORMS[trial % len(_TRANSFORMS)]
+        if transform == "simplify":
+            simplify.sweep(variant)
+        elif transform == "techmap":
+            decompose_to_max_fanin(variant, max_fanin=2)
+        elif transform == "nand":
+            decompose_to_max_fanin(variant, max_fanin=2)
+            map_to_nand(variant)
+        else:
+            lockable = [
+                name
+                for name in variant.gates
+                if variant.node(name).is_combinational
+                and not variant.node(name).is_lut
+                and variant.node(name).n_inputs >= 1
+            ]
+            picked = rng.sample(lockable, min(6, len(lockable)))
+            replace_gates_with_luts(variant, picked, program=True)
+        ctx.require(
+            f"{transform} transform preserves sequential behavior",
+            functional_match(
+                base,
+                variant,
+                cycles=8,
+                width=32,
+                seed=rng.randrange(1 << 30),
+            ),
+            f"the {transform} transform changed the circuit's observable "
+            "behavior",
+            trial=trial,
+            transform=transform,
+        )
+
+
+@register(
+    name="lock-unlock-roundtrip",
+    family="metamorphic",
+    description="locking with each algorithm, stripping configs, and "
+    "re-programming with the extracted bitstream must restore the "
+    "original function (SAT-proved)",
+    trial_divisor=5,
+)
+def lock_unlock_roundtrip(ctx: CheckContext) -> None:
+    rng = ctx.rng
+    algorithms = sorted(ALGORITHMS)
+    for trial in range(ctx.trials):
+        base = ctx.netlist()
+        algorithm = algorithms[trial % len(algorithms)]
+        result = ALGORITHMS[algorithm](seed=rng.randrange(1 << 20)).run(base)
+        if not result.replaced:
+            continue  # nothing locked (degenerate selections raise anyway)
+        verdict = check_equivalence(result.hybrid, base)
+        ctx.require(
+            f"{algorithm} locking preserves function",
+            verdict.equivalent,
+            f"the programmed {algorithm} hybrid is not equivalent to the "
+            "original design",
+            trial=trial,
+            algorithm=algorithm,
+            counterexample=verdict.counterexample,
+        )
+        foundry = result.foundry_view()
+        ctx.require(
+            "foundry view withholds every configuration",
+            all(
+                foundry.node(name).lut_config is None
+                for name in foundry.luts
+            ),
+            "the foundry view leaked at least one LUT configuration",
+            trial=trial,
+            algorithm=algorithm,
+        )
+        HybridMapper().program(foundry, result.provisioning)
+        verdict = check_equivalence(foundry, base)
+        ctx.require(
+            f"{algorithm} unlock with the true bitstream restores function",
+            verdict.equivalent,
+            "programming the foundry view with the extracted bitstream did "
+            "not restore the original function",
+            trial=trial,
+            algorithm=algorithm,
+            counterexample=verdict.counterexample,
+        )

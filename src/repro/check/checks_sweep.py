@@ -1,0 +1,62 @@
+"""Sweep-engine differential checks.
+
+The sweep engine promises that a grid's canonical rows are independent of
+*how* they were computed: serial vs process-parallel execution, and fresh
+execution vs warm-cache replay, must be bit-identical (the determinism
+contract of :mod:`repro.sweep.runner`).  Each round builds a small grid
+over the circuit under check and runs it three ways.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..sweep.runner import run_sweep
+from ..sweep.spec import SweepSpec
+from .core import CheckContext, register
+
+
+@register(
+    name="sweep-modes-identical",
+    family="sweep",
+    description="serial, parallel, and warm-cache executions of one "
+    "SweepSpec must produce bit-identical canonical rows",
+    trial_divisor=12,
+)
+def sweep_modes_identical(ctx: CheckContext) -> None:
+    for round_no in range(ctx.trials):
+        grid_seed = ctx.rng.randrange(1 << 16)
+        spec = SweepSpec(
+            circuits=[ctx.circuit],
+            algorithms=["independent", "parametric"],
+            seeds=[grid_seed],
+            attacks=["none"],
+            analyses=["ppa", "security"],
+            gen_seed=ctx.gen_seed,
+        )
+        serial = run_sweep(spec, workers=1)
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+            parallel = run_sweep(spec, workers=2, cache_dir=tmp)
+            warm = run_sweep(spec, workers=1, cache_dir=tmp)
+        ctx.compare(
+            "sweep rows (serial vs parallel)",
+            serial.canonical_rows(),
+            parallel.canonical_rows(),
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+        ctx.compare(
+            "sweep rows (serial vs warm cache)",
+            serial.canonical_rows(),
+            warm.canonical_rows(),
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+        ctx.require(
+            "warm re-run is fully cache-served",
+            warm.stats.cached == warm.stats.total and warm.stats.executed == 0,
+            f"warm re-run executed {warm.stats.executed} of "
+            f"{warm.stats.total} trials instead of serving them from cache",
+            round=round_no,
+            grid_seed=grid_seed,
+        )

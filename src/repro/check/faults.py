@@ -1,0 +1,272 @@
+"""Fault-injection self-test: prove the checks are not vacuous.
+
+A differential check that never fires is worse than no check — it
+launders confidence.  Each :class:`Fault` here deliberately breaks one
+layer the checks guard (a stale compiled kernel, a lying SAT solver, a
+tampered sweep-cache row, an oracle that forgets to bill memoized
+replays, a simplify pass that miswires a gate), runs the corresponding
+check family, and demands at least one divergence.  The faults are
+installed by monkeypatching the real code paths — the checks themselves
+are byte-for-byte the ones the normal run uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .core import CheckReport, resolve_checks, run_checks
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One deliberate defect and the check family expected to catch it."""
+
+    name: str
+    family: str
+    description: str
+    inject: Callable[[], Callable[[], None]]  # install; returns the undo
+
+
+# ----------------------------------------------------------------------
+# the injected defects
+# ----------------------------------------------------------------------
+def _inject_stale_compiled_kernel() -> Callable[[], None]:
+    """Compiled programs stop noticing folded-config rewrites — the bug
+    :meth:`CompiledProgram.is_valid_for` exists to prevent."""
+    from ..sim.compiled import CompiledProgram
+
+    original = CompiledProgram.is_valid_for
+    CompiledProgram.is_valid_for = lambda self, netlist: True  # type: ignore[method-assign]
+
+    def undo() -> None:
+        CompiledProgram.is_valid_for = original  # type: ignore[method-assign]
+
+    return undo
+
+
+def _inject_sat_always_unsat() -> Callable[[], None]:
+    """The CDCL solver reports UNSAT for every formula, which makes every
+    miter 'equivalent' — the SAT layer silently lying."""
+    from ..sat.solver import Solver
+
+    original = Solver.solve
+    Solver.solve = lambda self, assumptions=(): False  # type: ignore[method-assign]
+
+    def undo() -> None:
+        Solver.solve = original  # type: ignore[method-assign]
+
+    return undo
+
+
+def _inject_sweep_cache_tamper() -> Callable[[], None]:
+    """Warm cache reads return silently corrupted rows (bit-rot that
+    JSON still parses — the corruption quarantine cannot see it)."""
+    from ..sweep.cache import ResultCache
+
+    original = ResultCache.get
+
+    def tampered_get(self, key):
+        row = original(self, key)
+        if isinstance(row, dict) and isinstance(row.get("metrics"), dict):
+            row = dict(row)
+            row["metrics"] = dict(row["metrics"])
+            row["metrics"]["tampered"] = True
+        return row
+
+    ResultCache.get = tampered_get  # type: ignore[method-assign]
+
+    def undo() -> None:
+        ResultCache.get = original  # type: ignore[method-assign]
+
+    return undo
+
+
+def _inject_oracle_free_replays() -> Callable[[], None]:
+    """The oracle stops billing memo-served replays — the exact counter
+    bug the query memo could have introduced (Eq. 1-3 counts applied
+    patterns, so replays must stay on the bill)."""
+    from ..attacks.oracle import ConfiguredOracle
+
+    original = ConfiguredOracle.query
+
+    def unbilled_query(self, inputs, state=None, width=1):
+        hits_before = self.cache_hits
+        result = original(self, inputs, state, width)
+        if self.cache_hits > hits_before:
+            self.queries -= width
+            self.test_clocks -= width * (1 if self.scan else self.depth)
+        return result
+
+    ConfiguredOracle.query = unbilled_query  # type: ignore[method-assign]
+
+    def undo() -> None:
+        ConfiguredOracle.query = original  # type: ignore[method-assign]
+
+    return undo
+
+
+def _inject_broken_simplify() -> Callable[[], None]:
+    """simplify.sweep miswires the design: after the real pass it flips
+    one surviving gate's function (a subtly wrong rewrite rule)."""
+    from ..netlist import simplify
+    from ..netlist.gates import GateType
+
+    flipped = {
+        GateType.AND: GateType.NAND,
+        GateType.NAND: GateType.AND,
+        GateType.OR: GateType.NOR,
+        GateType.NOR: GateType.OR,
+        GateType.XOR: GateType.XNOR,
+        GateType.XNOR: GateType.XOR,
+    }
+    original = simplify.sweep
+
+    def broken_sweep(netlist):
+        stats = original(netlist)
+        for name in netlist.gates:
+            node = netlist.node(name)
+            if node.gate_type in flipped:
+                node.gate_type = flipped[node.gate_type]
+                netlist.touch_function()
+                break
+        return stats
+
+    simplify.sweep = broken_sweep
+
+    def undo() -> None:
+        simplify.sweep = original
+
+    return undo
+
+
+FAULTS: List[Fault] = [
+    Fault(
+        name="stale-compiled-kernel",
+        family="sim",
+        description="compiled programs ignore folded-config rewrites",
+        inject=_inject_stale_compiled_kernel,
+    ),
+    Fault(
+        name="sat-always-unsat",
+        family="sat",
+        description="the CDCL solver claims UNSAT for every formula",
+        inject=_inject_sat_always_unsat,
+    ),
+    Fault(
+        name="sweep-cache-tamper",
+        family="sweep",
+        description="warm cache reads return silently corrupted rows",
+        inject=_inject_sweep_cache_tamper,
+    ),
+    Fault(
+        name="oracle-free-replays",
+        family="attack",
+        description="the oracle stops billing memo-served replays",
+        inject=_inject_oracle_free_replays,
+    ),
+    Fault(
+        name="broken-simplify",
+        family="metamorphic",
+        description="simplify.sweep flips one gate function",
+        inject=_inject_broken_simplify,
+    ),
+]
+
+
+# ----------------------------------------------------------------------
+# the self-test runner
+# ----------------------------------------------------------------------
+@dataclass
+class FaultOutcome:
+    """Result of running one fault's check family under the fault."""
+
+    fault: str
+    family: str
+    description: str
+    fired: bool
+    divergences: int
+    comparisons: int
+    seconds: float
+    report: Optional[CheckReport] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault,
+            "family": self.family,
+            "description": self.description,
+            "fired": self.fired,
+            "divergences": self.divergences,
+            "comparisons": self.comparisons,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+@dataclass
+class FaultInjectionReport:
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Every injected fault was caught by its check family."""
+        return all(outcome.fired for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        caught = sum(1 for o in self.outcomes if o.fired)
+        return (
+            f"fault injection: {caught}/{len(self.outcomes)} faults caught "
+            f"in {self.wall_seconds:.1f}s"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "summary": self.summary(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def run_fault_injection(
+    circuits: Sequence[str] = ("s27",),
+    seed: int = 0,
+    trials: int = 16,
+    gen_seed: int = 2016,
+    progress: Optional[Callable[[FaultOutcome], None]] = None,
+) -> FaultInjectionReport:
+    """Inject every fault in turn and run its check family against it.
+
+    A fault whose family reports zero divergences means the family is
+    vacuous for that defect class — the self-test fails.
+    """
+    start = time.perf_counter()
+    report = FaultInjectionReport()
+    for fault in FAULTS:
+        undo = fault.inject()
+        fault_start = time.perf_counter()
+        try:
+            family_report = run_checks(
+                checks=resolve_checks([fault.family]),
+                circuits=circuits,
+                seeds=(seed,),
+                trials=trials,
+                gen_seed=gen_seed,
+            )
+        finally:
+            undo()
+        outcome = FaultOutcome(
+            fault=fault.name,
+            family=fault.family,
+            description=fault.description,
+            fired=bool(family_report.divergences),
+            divergences=len(family_report.divergences),
+            comparisons=family_report.comparisons,
+            seconds=time.perf_counter() - fault_start,
+            report=family_report,
+        )
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    report.wall_seconds = time.perf_counter() - start
+    return report

@@ -1,0 +1,75 @@
+"""Text and JSON rendering of check and fault-injection reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .core import CheckReport
+from .faults import FaultInjectionReport
+
+
+def render_text(report: CheckReport) -> str:
+    """A per-run table plus full detail for every divergence."""
+    lines = []
+    width = max(
+        (len(f"{o.check} {o.circuit}/s{o.seed}") for o in report.outcomes),
+        default=20,
+    )
+    for outcome in report.outcomes:
+        label = f"{outcome.check} {outcome.circuit}/s{outcome.seed}"
+        if outcome.error is not None:
+            status = "ERROR"
+        elif outcome.divergences:
+            status = f"DIVERGED ({len(outcome.divergences)})"
+        else:
+            status = "ok"
+        lines.append(
+            f"{label:<{width}}  {outcome.comparisons:>5} comparisons  "
+            f"{outcome.seconds:>6.2f}s  {status}"
+        )
+    for outcome in report.outcomes:
+        for divergence in outcome.divergences:
+            lines.append("")
+            lines.append(
+                f"DIVERGENCE [{divergence.check}] "
+                f"{divergence.circuit}/s{divergence.seed}: {divergence.message}"
+            )
+            for key, value in divergence.details.items():
+                lines.append(f"  {key}: {value}")
+        if outcome.error is not None:
+            lines.append("")
+            lines.append(
+                f"ERROR [{outcome.check}] {outcome.circuit}/s{outcome.seed}:"
+            )
+            lines.append(outcome.error.rstrip())
+    lines.append("")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def render_fault_text(report: FaultInjectionReport) -> str:
+    lines = []
+    width = max((len(o.fault) for o in report.outcomes), default=20)
+    for outcome in report.outcomes:
+        status = (
+            f"caught ({outcome.divergences} divergences)"
+            if outcome.fired
+            else "NOT CAUGHT — the check family is vacuous for this defect"
+        )
+        lines.append(
+            f"{outcome.fault:<{width}}  [{outcome.family}]  "
+            f"{outcome.seconds:>6.2f}s  {status}"
+        )
+    lines.append("")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_fault_json(report: FaultInjectionReport, indent: int = 2) -> str:
+    payload: Dict[str, Any] = report.to_dict()
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -5,6 +5,7 @@
     repro-lock attack hybrid_foundry.bench hybrid.bench --attack sat
     repro-lock sweep --circuits s641,s1238 --seeds 0:8 --workers 4
     repro-lock lint hybrid.bench --format sarif
+    repro-lock check --seeds 0:3 --trials 25 --format json
     repro-lock gen s5378a --out s5378a.bench
     repro-lock report
 
@@ -395,6 +396,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.stats.failed else 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check import (
+        MINI_SUITE,
+        CheckError,
+        all_checks,
+        render_fault_json,
+        render_fault_text,
+        render_json,
+        render_text,
+        resolve_checks,
+        run_checks,
+        run_fault_injection,
+    )
+
+    if args.list:
+        for check in all_checks():
+            print(f"{check.name:<26} [{check.family:<11}] {check.description}")
+        return 0
+
+    seeds = _parse_int_list(args.seeds)
+
+    if args.fault_injection:
+        circuits = (
+            _parse_name_list(args.circuits) if args.circuits else ["s27"]
+        )
+
+        def fault_progress(outcome) -> None:
+            status = "caught" if outcome.fired else "NOT CAUGHT"
+            print(
+                f"[check] fault {outcome.fault} [{outcome.family}]: "
+                f"{status} ({outcome.seconds:.1f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        fault_report = run_fault_injection(
+            circuits=circuits,
+            seed=seeds[0],
+            trials=args.trials,
+            gen_seed=args.gen_seed,
+            progress=None if args.quiet else fault_progress,
+        )
+        rendered = (
+            render_fault_json(fault_report)
+            if args.format == "json"
+            else render_fault_text(fault_report)
+        )
+        if args.out:
+            Path(args.out).write_text(rendered + "\n")
+            print(f"wrote {args.out} ({fault_report.summary()})")
+        else:
+            print(rendered)
+        return 0 if fault_report.ok else 1
+
+    try:
+        checks = resolve_checks(
+            _parse_name_list(args.checks) if args.checks else None
+        )
+    except CheckError as exc:
+        raise SystemExit(f"error: {exc}")
+    circuits = (
+        _parse_name_list(args.circuits) if args.circuits else list(MINI_SUITE)
+    )
+
+    def progress(outcome) -> None:
+        status = "ok" if outcome.ok else "FAIL"
+        print(
+            f"[check] {outcome.check} {outcome.circuit}/s{outcome.seed} "
+            f"{status} ({outcome.comparisons} comparisons, "
+            f"{outcome.seconds:.1f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    report = run_checks(
+        checks=checks,
+        circuits=circuits,
+        seeds=seeds,
+        trials=args.trials,
+        gen_seed=args.gen_seed,
+        progress=None if args.quiet else progress,
+    )
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out} ({report.summary()})")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     print(
         "Benchmark reports are generated by the pytest-benchmark harness:\n"
@@ -585,6 +679,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_check = sub.add_parser(
+        "check",
+        help="differential verification: cross-check redundant computations",
+    )
+    p_check.add_argument(
+        "--checks",
+        default=None,
+        help="comma list of check names or families (default: all; "
+        "see --list)",
+    )
+    p_check.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated benchmark names or .bench paths "
+        "(default: the mini ISCAS suite s27,s641)",
+    )
+    p_check.add_argument(
+        "--seeds",
+        default="0:3",
+        help="comma list with range shorthand, e.g. '0:3' or '1,2,9'",
+    )
+    p_check.add_argument(
+        "--trials",
+        type=int,
+        default=25,
+        help="randomized trials per check run (expensive checks scale "
+        "this down by their declared divisor)",
+    )
+    p_check.add_argument("--gen-seed", type=int, default=2016)
+    p_check.add_argument(
+        "--format", default="text", choices=["text", "json"]
+    )
+    p_check.add_argument("--out", default=None, help="write output to a file")
+    p_check.add_argument(
+        "--fault-injection",
+        action="store_true",
+        help="self-test: inject a defect per check family and demand the "
+        "family catches it (guards against vacuous checks)",
+    )
+    p_check.add_argument(
+        "--list", action="store_true", help="print the check catalogue"
+    )
+    p_check.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_report = sub.add_parser("report", help="how to regenerate the paper's tables")
     p_report.set_defaults(func=cmd_report)

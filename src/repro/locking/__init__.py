@@ -1,7 +1,7 @@
 """The paper's core contribution: CMOS-gate selection and replacement."""
 
 from .base import SelectionAlgorithm, SelectionResult, replaceable_gates_on_paths
-from .dependent import DependentSelection
+from .dependent import DependentSelection, DependentSelectionError
 from .independent import IndependentSelection
 from .parametric import ParametricSelection
 from .budget import (
@@ -47,6 +47,7 @@ __all__ = [
     "SelectionResult",
     "replaceable_gates_on_paths",
     "DependentSelection",
+    "DependentSelectionError",
     "IndependentSelection",
     "ParametricSelection",
     "ALGORITHMS",

@@ -15,19 +15,52 @@ import random
 from typing import Dict, List
 
 from ..analysis.paths import IOPath
-from ..netlist.graph import combinational_gates_on
-from ..netlist.netlist import Netlist
+from ..netlist.graph import combinational_gates_on, levelize
+from ..netlist.netlist import Netlist, NetlistError
 from .base import SelectionAlgorithm
 
 
+class DependentSelectionError(NetlistError):
+    """Dependent selection found nothing to lock.
+
+    Raised when the requested I/O paths contribute no combinational gate
+    (``n_io_paths <= 0``, a path set that is empty after sampling, or
+    paths whose timing segments cross flip-flops only).  A selection that
+    silently locks zero gates would report Eq. 2 security it does not
+    provide, so the degenerate case is an explicit, typed failure — or an
+    explicit fallback, never a silent no-op.
+    """
+
+
 class DependentSelection(SelectionAlgorithm):
-    """Replace every gate on the ``n_io_paths`` deepest I/O paths."""
+    """Replace every gate on the ``n_io_paths`` deepest I/O paths.
+
+    ``on_degenerate`` picks the policy for the degenerate case in which
+    those paths contain no combinational gate at all:
+
+    * ``"error"`` (default): raise :class:`DependentSelectionError`;
+    * ``"fallback"``: lock the deepest purely-combinational chain instead
+      (a gate of maximum logic level plus its deepest-predecessor chain),
+      which preserves the lock-a-connected-chain character of the
+      algorithm on designs where path discovery comes up empty.
+    """
 
     name = "dependent"
 
-    def __init__(self, n_io_paths: int = 1, **kwargs: object):
+    def __init__(
+        self,
+        n_io_paths: int = 1,
+        on_degenerate: str = "error",
+        **kwargs: object,
+    ):
         super().__init__(**kwargs)
+        if on_degenerate not in ("error", "fallback"):
+            raise ValueError(
+                "on_degenerate must be 'error' or 'fallback', "
+                f"got {on_degenerate!r}"
+            )
         self.n_io_paths = n_io_paths
+        self.on_degenerate = on_degenerate
 
     def select(
         self,
@@ -42,9 +75,43 @@ class DependentSelection(SelectionAlgorithm):
             for segment in path.timing_paths(netlist):
                 for name in combinational_gates_on(netlist, segment):
                     selected.setdefault(name, None)
-        return list(selected)
+        if selected:
+            return list(selected)
+        if self.on_degenerate == "error":
+            raise DependentSelectionError(
+                f"dependent selection over {self.n_io_paths} I/O path(s) "
+                f"contains no combinational gate on {netlist.name!r}; "
+                "nothing would be locked (pass on_degenerate='fallback' "
+                "to lock the deepest combinational chain instead)"
+            )
+        return self._fallback_chain(netlist)
+
+    def _fallback_chain(self, netlist: Netlist) -> List[str]:
+        """The deepest combinational chain: a maximum-level gate followed
+        back through its deepest combinational predecessors."""
+        levels = levelize(netlist)
+        gates = set(netlist.gates)
+        if not gates:
+            raise DependentSelectionError(
+                f"{netlist.name!r} has no combinational gates; "
+                "dependent selection cannot lock anything"
+            )
+        chain: List[str] = []
+        current = max(gates, key=lambda name: (levels.get(name, 0), name))
+        while current is not None:
+            chain.append(current)
+            predecessors = [
+                src for src in netlist.node(current).fanin if src in gates
+            ]
+            current = max(
+                predecessors,
+                key=lambda name: (levels.get(name, 0), name),
+                default=None,
+            )
+        return chain
 
     def describe_params(self) -> Dict[str, object]:
         params = super().describe_params()
         params["n_io_paths"] = self.n_io_paths
+        params["on_degenerate"] = self.on_degenerate
         return params

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from .spec import Trial, canonical_json
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the row schema changes shape; part of every cache key.
 RESULT_SCHEMA = 1
@@ -65,13 +68,42 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached row for *key*, or ``None`` (missing or unreadable —
-        a corrupt file is treated as a miss and overwritten on put)."""
+        """The cached row for *key*, or ``None`` on a miss.
+
+        A file that exists but does not parse as a JSON object is evidence
+        of on-disk corruption (bit rot, a concurrent writer without atomic
+        replace, manual edits).  It is *quarantined* — renamed to
+        ``<name>.json.corrupt`` so ``iter_keys``/``__contains__`` stop
+        seeing it and the evidence survives for inspection — and logged,
+        then treated as a miss so the trial re-runs.
+        """
         path = self._path(key)
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
             return None
+        try:
+            row = json.loads(text)
+            if not isinstance(row, dict):
+                raise json.JSONDecodeError("row is not an object", text, 0)
+            return row
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, exc)
+            return None
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # racing reader already moved it
+        logger.warning(
+            "quarantined corrupt cache entry %s -> %s (%s); "
+            "the trial will be recomputed",
+            path,
+            target.name,
+            reason,
+        )
 
     def put(self, key: str, row: Dict[str, Any]) -> None:
         path = self._path(key)

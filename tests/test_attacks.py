@@ -21,6 +21,7 @@ from repro.attacks import (
 )
 from repro.lut import HybridMapper
 from repro.netlist import GateType, Netlist
+from repro.sat import check_equivalence
 
 
 def lock(netlist, names, decoy_inputs=0, seed=0):
@@ -101,6 +102,59 @@ class TestTestingAttack:
         assert result.test_clocks >= result.oracle_queries
 
 
+class TestTestingAttackSoundness:
+    """Regression for a bug found by the differential check harness
+    (``repro-lock check --checks attack``): with two unresolved LUTs whose
+    observation routes overlap, the deduction step used to pin the *other*
+    unknown LUT to a guessed constant and trust the measurement.  A wrong
+    guess shifts both hypothesis simulations, so the chip's response can
+    match the wrong hypothesis and a provably wrong config gets "resolved"
+    (s27, G12/G8, mapper seeds 9 and 10 reproduced it deterministically).
+    The fix quantifies over every assignment of the unknown outputs — one
+    simulation lane each — and deduces a bit only when no assignment can
+    explain the response under the opposite hypothesis."""
+
+    def test_never_resolves_a_wrong_config(self, s27):
+        fully_resolved = 0
+        for seed in range(12):
+            mapper = HybridMapper(rng=random.Random(seed))
+            hybrid = s27.copy("s27_locked")
+            mapper.replace(hybrid, ["G12", "G8"])
+            record = mapper.extract_provisioning(hybrid)
+            foundry = mapper.strip_configs(hybrid)
+            oracle = ConfiguredOracle(hybrid, scan=True)
+            result = TestingAttack(foundry, oracle, seed=seed).run()
+            if result.success:
+                fully_resolved += 1
+            for name in result.resolved:
+                candidate = foundry.copy("candidate")
+                for lut in candidate.luts:
+                    candidate.node(lut).lut_config = result.resolved.get(
+                        lut, record.configs[lut]
+                    )
+                assert check_equivalence(candidate, hybrid).equivalent, (
+                    f"seed {seed}: testing attack resolved a functionally "
+                    f"wrong config for {name}"
+                )
+        # Soundness must not destroy capability: several seeds still
+        # recover the complete key.
+        assert fully_resolved >= 3
+
+    def test_unknown_lane_cap_defers_instead_of_guessing(self, s27):
+        mapper = HybridMapper(rng=random.Random(1))
+        hybrid = s27.copy("s27_locked")
+        mapper.replace(hybrid, ["G12", "G8"])
+        foundry = mapper.strip_configs(hybrid)
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        attack = TestingAttack(foundry, oracle, seed=1, max_unknown_lanes=0)
+        result = attack.run()
+        # With zero lanes allowed for co-unknowns, nothing can be measured
+        # while another LUT is unresolved — the attack reports honest
+        # failure rather than a guessed key.
+        assert not result.success
+        assert not result.resolved
+
+
 class TestBruteForce:
     def test_candidate_configs(self):
         assert len(candidate_configs(2)) == 6
@@ -128,6 +182,30 @@ class TestBruteForce:
         oracle = ConfiguredOracle(s27.copy(), scan=True)
         result = BruteForceAttack(s27.copy(), oracle).run()
         assert result.success and result.found == {}
+
+    def test_masked_gate_yields_interchangeable_success(self):
+        """Regression for a bug found by the differential check harness:
+        a locked gate whose output is masked (here ANDed with a constant
+        zero) lets *every* candidate config survive, and the attack used
+        to report failure even though any survivor is a working key.  The
+        survivors are now SAT-proved pairwise equivalent on the attacker's
+        own netlist (no oracle cost) and the attack succeeds."""
+        n = Netlist("masked")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("na", GateType.NOT, ["a"])
+        n.add_gate("zero", GateType.AND, ["a", "na"])  # constant 0
+        n.add_gate("g", GateType.XOR, ["a", "b"])  # locked below
+        n.add_gate("m", GateType.AND, ["g", "zero"])  # masks g entirely
+        n.add_gate("y", GateType.OR, ["m", "b"])
+        n.add_output("y")
+        hybrid, foundry, _ = lock(n, ["g"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = BruteForceAttack(foundry, oracle, seed=0).run()
+        assert result.success
+        assert result.interchangeable_survivors
+        assert len(result.survivors) == len(candidate_configs(2))
+        assert verify_key(foundry, result.found, hybrid)
 
 
 class TestSatAttack:

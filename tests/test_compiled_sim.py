@@ -12,6 +12,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.circuits import load_benchmark
 from repro.circuits.generator import CircuitSpec, generate
@@ -213,6 +215,64 @@ class TestLutParity:
         assert get_program(s27) is program, "sweeps after demotion must not recompile"
 
 
+class TestDynamicOverrideInvalidation:
+    def test_override_kernel_tracks_config_mutation(self, s27):
+        """The lazy override kernel (``_run_ov``) folds programmed configs
+        like the plain kernel does; an in-place ``lut_config`` rewrite
+        after the override kernel was built must invalidate the program,
+        not serve stale folded constants through either entry point."""
+        rng = random.Random(11)
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:2], program=True)
+        luts = list(s27.luts)
+        interpreted = CombinationalSimulator(s27, backend="interpreted")
+        compiled = CombinationalSimulator(s27, backend="compiled")
+        inputs = {pi: rng.getrandbits(8) for pi in s27.inputs}
+        state = {ff: rng.getrandbits(8) for ff in s27.flip_flops}
+        overrides = {luts[0]: rng.getrandbits(8)}
+        # Build both kernels (plain, then override) on the folded program.
+        assert compiled.evaluate(inputs, state, 8) == interpreted.evaluate(
+            inputs, state, 8
+        )
+        assert compiled.evaluate(
+            inputs, state, 8, overrides=overrides
+        ) == interpreted.evaluate(inputs, state, 8, overrides=overrides)
+        folded = get_program(s27)
+        # Mutate the config of the *non-overridden* LUT in place.
+        node = s27.node(luts[-1])
+        node.lut_config ^= (1 << (1 << node.n_inputs)) - 1
+        assert not folded.is_valid_for(s27)
+        assert compiled.evaluate(
+            inputs, state, 8, overrides=overrides
+        ) == interpreted.evaluate(inputs, state, 8, overrides=overrides)
+        assert compiled.evaluate(inputs, state, 8) == interpreted.evaluate(
+            inputs, state, 8
+        )
+        assert get_program(s27) is not folded
+
+    def test_demoted_program_serves_overrides_without_recompile(self, s27):
+        """After the config-sweep demotion to force_dynamic, the override
+        kernel must keep working and further sweeps must not recompile."""
+        rng = random.Random(12)
+        replace_gates_with_luts(s27, _lockable_gates(s27)[:2], program=True)
+        luts = list(s27.luts)
+        interpreted = CombinationalSimulator(s27, backend="interpreted")
+        compiled = CombinationalSimulator(s27, backend="compiled")
+        inputs = {pi: rng.getrandbits(4) for pi in s27.inputs}
+        state = {ff: rng.getrandbits(4) for ff in s27.flip_flops}
+        compiled.evaluate(inputs, state, 4)
+        s27.node(luts[0]).lut_config ^= 1  # demote to dynamic
+        compiled.evaluate(inputs, state, 4)
+        program = get_program(s27)
+        assert program.force_dynamic
+        for sweep in range(3):
+            s27.node(luts[0]).lut_config ^= 1
+            overrides = {luts[-1]: rng.getrandbits(4)}
+            assert compiled.evaluate(
+                inputs, state, 4, overrides=overrides
+            ) == interpreted.evaluate(inputs, state, 4, overrides=overrides)
+        assert get_program(s27) is program
+
+
 class TestSequentialParity:
     @pytest.mark.parametrize("seed", [0, 1])
     def test_multi_cycle(self, seed):
@@ -232,6 +292,58 @@ class TestSequentialParity:
             inputs = {pi: rng.getrandbits(8) for pi in netlist.inputs}
             assert interpreted.step(inputs) == compiled.step(inputs), cycle
             assert interpreted.state == compiled.state, cycle
+
+
+@st.composite
+def locked_scenarios(draw):
+    """A generated circuit, a random LUT-locking of it, and a stimulus:
+    the search space for the property below is the cross product the
+    example-based tests sample only pointwise."""
+    seed = draw(st.integers(0, 31))
+    spec = CircuitSpec(
+        name=f"prop{seed}",
+        n_inputs=draw(st.integers(3, 6)),
+        n_outputs=draw(st.integers(2, 4)),
+        n_flip_flops=draw(st.integers(0, 4)),
+        n_gates=draw(st.integers(10, 45)),
+        seed=seed,
+    )
+    netlist = generate(spec)
+    candidates = _lockable_gates(netlist)
+    n_locked = draw(st.integers(0, min(5, len(candidates))))
+    rng = random.Random(draw(st.integers(0, 1 << 16)))
+    picked = rng.sample(candidates, n_locked)
+    replace_gates_with_luts(netlist, picked, program=True)
+    width = draw(st.sampled_from([1, 2, 7, 32, 64]))
+    stimulus_rng = random.Random(draw(st.integers(0, 1 << 16)))
+    inputs = {pi: stimulus_rng.getrandbits(width) for pi in netlist.inputs}
+    state = {ff: stimulus_rng.getrandbits(width) for ff in netlist.flip_flops}
+    overrides = None
+    overridable = sorted(netlist.luts)
+    if overridable and draw(st.booleans()):
+        overrides = {
+            name: stimulus_rng.getrandbits(width)
+            for name in overridable[: draw(st.integers(1, len(overridable)))]
+        }
+    return netlist, inputs, state, width, overrides
+
+
+class TestPropertyBasedParity:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(locked_scenarios())
+    def test_backends_agree_on_any_locked_circuit(self, scenario):
+        netlist, inputs, state, width, overrides = scenario
+        expected = CombinationalSimulator(
+            netlist, backend="interpreted"
+        ).evaluate(inputs, state, width, overrides=overrides)
+        actual = CombinationalSimulator(netlist, backend="compiled").evaluate(
+            inputs, state, width, overrides=overrides
+        )
+        assert actual == expected
 
 
 class TestErrorParity:

@@ -8,6 +8,7 @@ from repro.analysis import PpaAnalyzer, TimingAnalyzer
 from repro.locking import (
     ALGORITHMS,
     DependentSelection,
+    DependentSelectionError,
     IndependentSelection,
     ParametricSelection,
     replaceable_gates_on_paths,
@@ -95,6 +96,36 @@ class TestDependent:
         one = DependentSelection(n_io_paths=1, seed=1).run(s641)
         three = DependentSelection(n_io_paths=3, seed=1).run(s641)
         assert three.n_stt >= one.n_stt
+
+    def test_zero_paths_is_a_typed_error(self, s641):
+        """A selection that silently locks nothing would claim Eq. 2
+        security it does not provide."""
+        with pytest.raises(DependentSelectionError, match="nothing would"):
+            DependentSelection(n_io_paths=0, seed=1).run(s641)
+        # Negative counts degenerate the same way.
+        with pytest.raises(DependentSelectionError):
+            DependentSelection(n_io_paths=-2, seed=1).run(s641)
+
+    def test_zero_paths_fallback_locks_deepest_chain(self, s641):
+        result = DependentSelection(
+            n_io_paths=0, seed=1, on_degenerate="fallback"
+        ).run(s641)
+        assert result.n_stt >= 2
+        luts = set(result.replaced)
+        # The fallback preserves the dependency property: a chain, so
+        # every LUT except the chain's tail reads another LUT.
+        chained = sum(
+            1
+            for name in luts
+            if any(src in luts for src in result.hybrid.node(name).fanin)
+        )
+        assert chained >= len(luts) - 1
+        assert functional_match(s641, result.hybrid, cycles=8, width=32)
+        assert result.params["on_degenerate"] == "fallback"
+
+    def test_unknown_degenerate_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_degenerate"):
+            DependentSelection(on_degenerate="ignore")
 
 
 class TestParametric:

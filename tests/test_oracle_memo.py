@@ -77,20 +77,68 @@ def test_reprogramming_a_lut_invalidates_the_memo():
     assert oracle.sim_evaluations == 3
 
 
-def test_width_is_part_of_the_key():
+def test_memo_is_per_pattern_not_per_width():
+    """The memo keys individual patterns (lanes), so re-applying known
+    patterns at a different packing width is still a hit — keying on
+    (width, words) used to fragment the store."""
     _, oracle = _locked_oracle()
     pis = {pi: 0 for pi in oracle.netlist.inputs}
     state = {ff: 0 for ff in oracle.netlist.flip_flops}
     oracle.query(pis, state, width=1)
-    oracle.query(pis, state, width=2)
-    assert oracle.sim_evaluations == 2
-    assert oracle.queries == 3  # 1 + 2 patterns
+    # Width-2 all-zeros: both lanes are the already-seen pattern.
+    replay = oracle.query(pis, state, width=2)
+    assert oracle.sim_evaluations == 1
+    assert oracle.cache_hits == 1
+    assert oracle.queries == 3  # billing is untouched: 1 + 2 patterns
 
     oracle.reset_counters()
     assert (oracle.queries, oracle.cache_hits) == (0, 0)
     # The memo survives a counter reset (the attacker's notes persist).
     oracle.query(pis, state, width=1)
     assert oracle.cache_hits == 1
+    assert set(replay) == set(oracle.query(pis, state))
+
+
+def test_lane_of_a_wide_query_replays_at_width_one():
+    _, oracle = _locked_oracle()
+    inputs = sorted(oracle.netlist.inputs)
+    state = {ff: 0 for ff in oracle.netlist.flip_flops}
+    # Four distinct patterns packed into one width-4 word.
+    words = {pi: 0b0110 if i % 2 else 0b1010 for i, pi in enumerate(inputs)}
+    wide = oracle.query(words, state, width=4)
+    assert oracle.sim_evaluations == 1
+    # Replaying lane 2 alone must hit the memo and agree bit-for-bit.
+    lane = 2
+    narrow = oracle.query(
+        {pi: (words[pi] >> lane) & 1 for pi in inputs}, state
+    )
+    assert oracle.sim_evaluations == 1
+    assert oracle.cache_hits == 1
+    assert narrow == {net: (word >> lane) & 1 for net, word in wide.items()}
+
+
+def test_attack_costs_bit_identical_with_memo_disabled(monkeypatch):
+    """queries/test_clocks are pure functions of the attack transcript:
+    forcing every query to miss the memo must not move any cost figure."""
+    result_a, oracle_a = _locked_oracle()
+    outcome_a = SatAttack(result_a.foundry_view(), oracle_a).run()
+
+    result_b, oracle_b = _locked_oracle()
+    original_query = ConfiguredOracle.query
+
+    def never_memoized(self, inputs, state=None, width=1):
+        self._memo.clear()
+        return original_query(self, inputs, state, width)
+
+    monkeypatch.setattr(ConfiguredOracle, "query", never_memoized)
+    outcome_b = SatAttack(result_b.foundry_view(), oracle_b).run()
+    assert oracle_b.cache_hits == 0
+    assert outcome_a.key == outcome_b.key
+    assert (outcome_a.oracle_queries, outcome_a.test_clocks) == (
+        outcome_b.oracle_queries,
+        outcome_b.test_clocks,
+    )
+    assert outcome_a.iterations == outcome_b.iterations
 
 
 def test_sat_attack_cost_identical_with_memo():

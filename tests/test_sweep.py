@@ -172,14 +172,36 @@ def test_editing_a_bench_file_invalidates_its_rows(tmp_path):
     assert edited.stats.cached == 0 and edited.stats.executed == 1
 
 
-def test_corrupt_cache_entry_is_a_miss(tmp_path):
+def test_corrupt_cache_entry_is_quarantined(tmp_path, caplog):
     cache = ResultCache(tmp_path)
     cache.put("ab" * 32, {"status": "ok"})
     assert cache.get("ab" * 32) == {"status": "ok"}
     assert len(cache) == 1
-    cache._path("ab" * 32).write_text("{not json")
-    assert cache.get("ab" * 32) is None
-    assert cache.get("cd" * 32) is None
+    path = cache._path("ab" * 32)
+    path.write_text("{not json")
+    with caplog.at_level("WARNING", logger="repro.sweep.cache"):
+        assert cache.get("ab" * 32) is None
+    # The garbage was not silently swallowed: it is renamed aside with a
+    # warning, disappears from the index, and the evidence survives.
+    assert "quarantined corrupt cache entry" in caplog.text
+    assert not path.exists()
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert quarantined.read_text() == "{not json"
+    assert len(cache) == 0 and "ab" * 32 not in cache
+    # A fresh put overwrites cleanly and is served again.
+    cache.put("ab" * 32, {"status": "retry"})
+    assert cache.get("ab" * 32) == {"status": "retry"}
+    assert cache.get("cd" * 32) is None  # plain miss: no warning, no file
+
+
+def test_non_object_cache_row_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ef" * 32, {"status": "ok"})
+    cache._path("ef" * 32).write_text('["valid json", "wrong shape"]')
+    assert cache.get("ef" * 32) is None
+    assert cache._path("ef" * 32).with_name(
+        f"{'ef' * 32}.json.corrupt"
+    ).exists()
 
 
 # ----------------------------------------------------------------------
