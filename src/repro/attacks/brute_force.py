@@ -17,8 +17,14 @@ from typing import Dict, List, Optional, Sequence
 
 from ..netlist.gates import CANDIDATE_TYPES, GateType, truth_table
 from ..netlist.netlist import Netlist
+from ..obs import span
 from ..sim.logicsim import CombinationalSimulator
-from .oracle import ConfiguredOracle
+from .oracle import (
+    ConfiguredOracle,
+    attribute_cost,
+    bump_cost_counters,
+    snapshot_cost,
+)
 
 
 @dataclass
@@ -99,45 +105,80 @@ class BruteForceAttack:
             total *= len(space)
         result.hypotheses_total = total
 
-        patterns = self._draw_patterns(self.screen_patterns)
-        responses = self._oracle_responses(patterns)
-        working = self.netlist.copy(f"{self.netlist.name}_bf")
-        comb = CombinationalSimulator(working)
+        cost0 = snapshot_cost(self.oracle)
+        with span(
+            "attack.brute",
+            circuit=self.netlist.name,
+            lut_count=len(luts),
+            hypotheses_total=total,
+        ) as attack_span:
+            with span("attack.brute.screen") as screen_span:
+                screen_cost = snapshot_cost(self.oracle)
+                patterns = self._draw_patterns(self.screen_patterns)
+                responses = self._oracle_responses(patterns)
+                working = self.netlist.copy(f"{self.netlist.name}_bf")
+                comb = CombinationalSimulator(working)
 
-        survivors: List[Dict[str, int]] = []
-        for assignment in itertools.product(*spaces):
-            if result.hypotheses_tested >= self.max_hypotheses:
-                result.exhausted_budget = True
-                break
-            result.hypotheses_tested += 1
-            hypothesis = dict(zip(luts, assignment))
-            if self._consistent(working, comb, hypothesis, patterns, responses):
-                survivors.append(hypothesis)
+                survivors: List[Dict[str, int]] = []
+                for assignment in itertools.product(*spaces):
+                    if result.hypotheses_tested >= self.max_hypotheses:
+                        result.exhausted_budget = True
+                        break
+                    result.hypotheses_tested += 1
+                    hypothesis = dict(zip(luts, assignment))
+                    if self._consistent(
+                        working, comb, hypothesis, patterns, responses
+                    ):
+                        survivors.append(hypothesis)
+                attribute_cost(screen_span, self.oracle, screen_cost)
+                screen_span.set(
+                    hypotheses_tested=result.hypotheses_tested,
+                    survivors=len(survivors),
+                )
 
-        # Disambiguate survivors with fresh patterns.
-        rounds = 0
-        while len(survivors) > 1 and rounds < 8:
-            rounds += 1
-            extra = self._draw_patterns(self.confirm_patterns)
-            extra_responses = self._oracle_responses(extra)
-            survivors = [
-                h
-                for h in survivors
-                if self._consistent(working, comb, h, extra, extra_responses)
-            ]
-        result.survivors = survivors
-        if len(survivors) == 1:
-            result.found = survivors[0]
-        elif survivors and self._interchangeable(working, survivors):
-            # Indistinguishable survivors that are *functionally equivalent*
-            # (the missing gate is masked or feeds dead logic): every one of
-            # them is a working key, so the attack has succeeded.  This is
-            # attacker-side reasoning on the foundry netlist alone — it
-            # costs no oracle queries and no test clocks.
-            result.found = survivors[0]
-            result.interchangeable_survivors = True
-        result.oracle_queries = self.oracle.queries
-        result.test_clocks = self.oracle.test_clocks
+            # Disambiguate survivors with fresh patterns.
+            rounds = 0
+            while len(survivors) > 1 and rounds < 8:
+                rounds += 1
+                with span("attack.brute.confirm", round=rounds) as confirm_span:
+                    confirm_cost = snapshot_cost(self.oracle)
+                    extra = self._draw_patterns(self.confirm_patterns)
+                    extra_responses = self._oracle_responses(extra)
+                    survivors = [
+                        h
+                        for h in survivors
+                        if self._consistent(
+                            working, comb, h, extra, extra_responses
+                        )
+                    ]
+                    attribute_cost(confirm_span, self.oracle, confirm_cost)
+                    confirm_span.set(survivors=len(survivors))
+            result.survivors = survivors
+            if len(survivors) == 1:
+                result.found = survivors[0]
+            elif survivors:
+                with span(
+                    "attack.brute.equivalence", survivors=len(survivors)
+                ):
+                    interchangeable = self._interchangeable(working, survivors)
+                if interchangeable:
+                    # Indistinguishable survivors that are *functionally
+                    # equivalent* (the missing gate is masked or feeds dead
+                    # logic): every one of them is a working key, so the
+                    # attack has succeeded.  This is attacker-side reasoning
+                    # on the foundry netlist alone — it costs no oracle
+                    # queries and no test clocks.
+                    result.found = survivors[0]
+                    result.interchangeable_survivors = True
+            result.oracle_queries = self.oracle.queries
+            result.test_clocks = self.oracle.test_clocks
+            deltas = attribute_cost(attack_span, self.oracle, cost0)
+            attack_span.set(
+                success=result.success,
+                hypotheses_tested=result.hypotheses_tested,
+                exhausted_budget=result.exhausted_budget,
+            )
+            bump_cost_counters(deltas)
         return result
 
     # ------------------------------------------------------------------

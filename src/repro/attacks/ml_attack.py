@@ -23,9 +23,15 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..netlist.netlist import Netlist
+from ..obs import span
 from ..sim.logicsim import CombinationalSimulator
 from .brute_force import candidate_configs
-from .oracle import ConfiguredOracle
+from .oracle import (
+    ConfiguredOracle,
+    attribute_cost,
+    bump_cost_counters,
+    snapshot_cost,
+)
 
 
 @dataclass
@@ -81,6 +87,25 @@ class MlAttack:
             1 << self.netlist.node(n).n_inputs for n in luts
         )
 
+        cost0 = snapshot_cost(self.oracle)
+        with span(
+            "attack.ml",
+            circuit=self.netlist.name,
+            lut_count=len(luts),
+            key_bits=result.key_bits,
+        ) as attack_span:
+            self._anneal(result, luts)
+            deltas = attribute_cost(attack_span, self.oracle, cost0)
+            attack_span.set(
+                success=result.success,
+                iterations=result.iterations,
+                restarts=result.restarts,
+                best_agreement=result.best_agreement,
+            )
+            bump_cost_counters(deltas)
+        return result
+
+    def _anneal(self, result: MlAttackResult, luts) -> None:
         patterns, labels = self._collect_training_set()
         working = self.netlist.copy(f"{self.netlist.name}_ml")
         sim = CombinationalSimulator(working)
@@ -105,34 +130,36 @@ class MlAttack:
         spaces = {n: candidate_configs(working.node(n).n_inputs) for n in luts}
         for restart in range(self.restarts):
             result.restarts = restart + 1
-            key = {n: self.rng.choice(spaces[n]) for n in luts}
-            score = agreement(key)
-            temperature = self.initial_temperature
-            for _ in range(self.iterations_per_restart):
-                result.iterations += 1
-                name = self.rng.choice(luts)
-                proposal = dict(key)
-                if self.rng.random() < 0.5:
-                    # Candidate-gate jump.
-                    proposal[name] = self.rng.choice(spaces[name])
-                else:
-                    # Single truth-table-row flip (explores beyond the
-                    # standard-gate set — complex functions included).
-                    rows = 1 << working.node(name).n_inputs
-                    proposal[name] = key[name] ^ (
-                        1 << self.rng.randrange(rows)
-                    )
-                new_score = agreement(proposal)
-                delta = new_score - score
-                if delta >= 0 or self.rng.random() < math.exp(
-                    delta * total_bits / max(temperature, 1e-9)
-                ):
-                    key, score = proposal, new_score
-                temperature *= 0.999
-                if score > best_score:
-                    best_key, best_score = dict(key), score
-                if score >= 1.0:
-                    break
+            with span("attack.ml.restart", restart=restart + 1) as restart_span:
+                key = {n: self.rng.choice(spaces[n]) for n in luts}
+                score = agreement(key)
+                temperature = self.initial_temperature
+                for _ in range(self.iterations_per_restart):
+                    result.iterations += 1
+                    name = self.rng.choice(luts)
+                    proposal = dict(key)
+                    if self.rng.random() < 0.5:
+                        # Candidate-gate jump.
+                        proposal[name] = self.rng.choice(spaces[name])
+                    else:
+                        # Single truth-table-row flip (explores beyond the
+                        # standard-gate set — complex functions included).
+                        rows = 1 << working.node(name).n_inputs
+                        proposal[name] = key[name] ^ (
+                            1 << self.rng.randrange(rows)
+                        )
+                    new_score = agreement(proposal)
+                    delta = new_score - score
+                    if delta >= 0 or self.rng.random() < math.exp(
+                        delta * total_bits / max(temperature, 1e-9)
+                    ):
+                        key, score = proposal, new_score
+                    temperature *= 0.999
+                    if score > best_score:
+                        best_key, best_score = dict(key), score
+                    if score >= 1.0:
+                        break
+                restart_span.set(best_agreement=best_score)
             if best_score >= 1.0:
                 break
 
@@ -144,7 +171,6 @@ class MlAttack:
             result.exact = self._holdout_check(best_key)
         result.oracle_queries = self.oracle.queries
         result.test_clocks = self.oracle.test_clocks
-        return result
 
     # ------------------------------------------------------------------
     def _collect_training_set(self):

@@ -17,10 +17,11 @@ are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.graph import sequential_depth
 from ..netlist.netlist import Netlist, NetlistError
+from ..obs import add_counter
 from ..sim.logicsim import CombinationalSimulator
 from ..sim.seqsim import SequentialSimulator
 
@@ -194,3 +195,51 @@ class ConfiguredOracle:
     @property
     def depth(self) -> int:
         return self._depth
+
+
+# ----------------------------------------------------------------------
+# observability helpers (shared by every attack)
+# ----------------------------------------------------------------------
+#: ``(queries, test_clocks, sim_evaluations, cache_hits)`` at one instant.
+OracleCost = Tuple[int, int, int, int]
+
+
+def snapshot_cost(oracle: ConfiguredOracle) -> OracleCost:
+    """The oracle's cumulative counters, for later delta attribution."""
+    return (
+        oracle.queries,
+        oracle.test_clocks,
+        oracle.sim_evaluations,
+        oracle.cache_hits,
+    )
+
+
+def attribute_cost(
+    span_record, oracle: ConfiguredOracle, before: OracleCost
+) -> Dict[str, int]:
+    """Attach the oracle-cost delta since *before* to a span.
+
+    Sets the span's ``oracle_queries`` / ``test_clocks`` /
+    ``sim_evaluations`` / ``memo_hits`` attributes — the *traced* cost,
+    which :mod:`repro.check` cross-checks against the attack's self-
+    reported bill — and returns the deltas.  ``bump_counters`` the
+    process-wide metric counters only at attack roots (callers pass the
+    same deltas on), never per round, to avoid double counting.
+    """
+    deltas = {
+        "oracle_queries": oracle.queries - before[0],
+        "test_clocks": oracle.test_clocks - before[1],
+        "sim_evaluations": oracle.sim_evaluations - before[2],
+        "memo_hits": oracle.cache_hits - before[3],
+    }
+    span_record.set(**deltas)
+    return deltas
+
+
+def bump_cost_counters(deltas: Mapping[str, int]) -> None:
+    """Accumulate one attack's oracle-cost deltas into the ambient
+    recorder's typed counters (no-op when observability is off)."""
+    add_counter("oracle.queries", deltas["oracle_queries"])
+    add_counter("oracle.test_clocks", deltas["test_clocks"])
+    add_counter("sim.evaluations", deltas["sim_evaluations"])
+    add_counter("oracle.memo_hits", deltas["memo_hits"])

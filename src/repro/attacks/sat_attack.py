@@ -26,10 +26,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..netlist.netlist import Netlist
+from ..obs import add_counter, span
 from ..sat.cnf import Cnf
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
-from .oracle import ConfiguredOracle
+from .oracle import (
+    ConfiguredOracle,
+    attribute_cost,
+    bump_cost_counters,
+    snapshot_cost,
+)
 
 
 @dataclass
@@ -68,6 +74,25 @@ class SatAttack:
 
     def run(self) -> SatAttackResult:
         result = SatAttackResult()
+        cost0 = snapshot_cost(self.oracle)
+        with span(
+            "attack.sat",
+            circuit=self.netlist.name,
+            lut_count=len(self.netlist.luts),
+        ) as attack_span:
+            outcome = self._run_inner(result)
+            deltas = attribute_cost(attack_span, self.oracle, cost0)
+            attack_span.set(
+                success=outcome.success,
+                iterations=outcome.iterations,
+                gave_up=outcome.gave_up,
+                solver_conflicts=outcome.solver_conflicts,
+            )
+            bump_cost_counters(deltas)
+            add_counter("sat.solver_conflicts", outcome.solver_conflicts)
+        return outcome
+
+    def _run_inner(self, result: SatAttackResult) -> SatAttackResult:
         startpoints = list(self.netlist.inputs) + list(self.netlist.flip_flops)
         observation = self._observation_pairs()
 
@@ -104,23 +129,43 @@ class SatAttack:
         di_constraints: List[Tuple[Dict[str, int], Dict[str, int]]] = []
 
         while result.iterations < self.max_iterations:
-            if not solver.solve():
-                break  # no distinguishing input remains
-            result.iterations += 1
-            model = solver.model()
-            pattern = {
-                name: int(model.get(var, False))
-                for name, var in shared_inputs.items()
-            }
-            pis = {pi: pattern.get(pi, 0) for pi in self.netlist.inputs}
-            state = {ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops}
-            observed = self.oracle.query(pis, state)
-            response = {point: observed[point] for point in observation}
-            di_constraints.append((pattern, response))
-            # Pin each key hypothesis to the oracle's response on this DI
-            # via one fresh functional copy per key set.
-            self._add_io_constraint(solver, encoder, keys_a, pattern, response)
-            self._add_io_constraint(solver, encoder, keys_b, pattern, response)
+            with span(
+                "attack.sat.iteration", iteration=result.iterations + 1
+            ) as iter_span:
+                conflicts_before = solver.stats["conflicts"]
+                if not solver.solve():
+                    iter_span.set(
+                        distinguishing_input=False,
+                        solver_conflicts=solver.stats["conflicts"]
+                        - conflicts_before,
+                    )
+                    break  # no distinguishing input remains
+                result.iterations += 1
+                model = solver.model()
+                pattern = {
+                    name: int(model.get(var, False))
+                    for name, var in shared_inputs.items()
+                }
+                pis = {pi: pattern.get(pi, 0) for pi in self.netlist.inputs}
+                state = {
+                    ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops
+                }
+                observed = self.oracle.query(pis, state)
+                response = {point: observed[point] for point in observation}
+                di_constraints.append((pattern, response))
+                # Pin each key hypothesis to the oracle's response on this DI
+                # via one fresh functional copy per key set.
+                self._add_io_constraint(
+                    solver, encoder, keys_a, pattern, response
+                )
+                self._add_io_constraint(
+                    solver, encoder, keys_b, pattern, response
+                )
+                iter_span.set(
+                    distinguishing_input=True,
+                    solver_conflicts=solver.stats["conflicts"]
+                    - conflicts_before,
+                )
         else:
             # Iteration cap hit with distinguishing inputs still open: the
             # solver's work so far must be reported, same as the solved path
@@ -131,7 +176,8 @@ class SatAttack:
             result.solver_conflicts = solver.stats["conflicts"]
             return result
 
-        result.key = self._extract_key(di_constraints)
+        with span("attack.sat.extract", constraints=len(di_constraints)):
+            result.key = self._extract_key(di_constraints)
         result.oracle_queries = self.oracle.queries
         result.test_clocks = self.oracle.test_clocks
         result.solver_conflicts = solver.stats["conflicts"]

@@ -20,9 +20,15 @@ from typing import Dict, List, Optional
 
 from ..netlist.gates import GateType, truth_table_to_type
 from ..netlist.netlist import Netlist
+from ..obs import span
 from ..sim.justify import justify_and_propagate
 from ..sim.logicsim import CombinationalSimulator
-from .oracle import ConfiguredOracle
+from .oracle import (
+    ConfiguredOracle,
+    attribute_cost,
+    bump_cost_counters,
+    snapshot_cost,
+)
 
 
 @dataclass
@@ -86,22 +92,46 @@ class TestingAttack:
         remaining = [
             name for name in remaining if working.node(name).lut_config is None
         ]
-        progress = True
-        while progress and remaining:
-            progress = False
-            still: List[str] = []
-            for name in remaining:
-                config = self._resolve_one(working, name, result)
-                if config is None:
-                    still.append(name)
-                else:
-                    working.node(name).lut_config = config
-                    result.resolved[name] = config
-                    progress = True
-            remaining = still
-        result.unresolved = remaining
-        result.oracle_queries = self.oracle.queries
-        result.test_clocks = self.oracle.test_clocks
+        cost0 = snapshot_cost(self.oracle)
+        with span(
+            "attack.testing",
+            circuit=self.netlist.name,
+            lut_count=len(remaining),
+        ) as attack_span:
+            progress = True
+            round_no = 0
+            while progress and remaining:
+                round_no += 1
+                progress = False
+                still: List[str] = []
+                with span(
+                    "attack.testing.round",
+                    round=round_no,
+                    remaining=len(remaining),
+                ) as round_span:
+                    round_cost = snapshot_cost(self.oracle)
+                    for name in remaining:
+                        config = self._resolve_one(working, name, result)
+                        if config is None:
+                            still.append(name)
+                        else:
+                            working.node(name).lut_config = config
+                            result.resolved[name] = config
+                            progress = True
+                    attribute_cost(round_span, self.oracle, round_cost)
+                    round_span.set(resolved=len(remaining) - len(still))
+                remaining = still
+            result.unresolved = remaining
+            result.oracle_queries = self.oracle.queries
+            result.test_clocks = self.oracle.test_clocks
+            deltas = attribute_cost(attack_span, self.oracle, cost0)
+            attack_span.set(
+                success=result.success,
+                rounds=round_no,
+                resolved=len(result.resolved),
+                unresolved=len(result.unresolved),
+            )
+            bump_cost_counters(deltas)
         return result
 
     # ------------------------------------------------------------------

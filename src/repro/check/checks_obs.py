@@ -1,0 +1,108 @@
+"""Observability differential checks.
+
+The tracing layer (:mod:`repro.obs`) *attributes* attacker cost to spans
+by snapshotting the oracle's counters around each instrumented region.
+That attribution is only trustworthy if it agrees with what the attacks
+themselves bill — an over- or under-attribution would make every traced
+sweep lie about where the test clocks went.  This family runs attacks on
+a known-config oracle under a private recorder and cross-checks three
+independent accounts of the same cost:
+
+* the attack outcome's self-reported ``test_clocks``/``oracle_queries``;
+* the root attack span's attributed cost attrs;
+* the recorder's global ``oracle.*`` counters.
+
+It also checks internal consistency of the span tree: the per-round
+spans of the testing attack must partition the root span's cost exactly
+(deduction rounds are the only places the testing attack touches the
+oracle), and the SAT attack's ``sat.solver_conflicts`` counter must
+match the outcome's figure.
+"""
+
+from __future__ import annotations
+
+from ..attacks.oracle import ConfiguredOracle
+from ..attacks.sat_attack import SatAttack
+from ..attacks.testing_attack import TestingAttack
+from ..lut.mapping import HybridMapper
+from ..obs import Recorder, use_recorder
+from .checks_attacks import _lock_small
+from .core import CheckContext, register
+
+
+@register(
+    name="attack-trace-billing",
+    family="attack",
+    description="attacks traced under a private recorder: the cost "
+    "attributed to the attack spans and the recorder's oracle counters "
+    "must both equal the attack's self-reported bill, and round spans "
+    "must partition the root span's cost exactly",
+    trial_divisor=8,
+)
+def attack_trace_billing(ctx: CheckContext) -> None:
+    rng = ctx.rng
+    for round_no in range(ctx.trials):
+        hybrid = _lock_small(ctx.netlist(), rng)
+        if hybrid is None:
+            return
+        foundry = HybridMapper().strip_configs(hybrid)
+
+        # --- testing attack -------------------------------------------
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        target = foundry.copy(f"{foundry.name}_obs_testing")
+        recorder = Recorder()
+        with use_recorder(recorder):
+            outcome = TestingAttack(
+                target, oracle, seed=rng.randrange(1 << 30)
+            ).run()
+
+        roots = recorder.find("attack.testing")
+        if ctx.require(
+            "testing attack records exactly one root span",
+            len(roots) == 1,
+            f"expected 1 attack.testing span, found {len(roots)}",
+            round=round_no,
+        ):
+            root = roots[0]
+            ctx.compare(
+                "traced vs billed cost (testing root span attrs)",
+                (root.attrs.get("test_clocks"), root.attrs.get("oracle_queries")),
+                (outcome.test_clocks, outcome.oracle_queries),
+                round=round_no,
+            )
+            rounds = recorder.find("attack.testing.round")
+            ctx.compare(
+                "round spans partition the root span's cost",
+                (
+                    sum(s.attrs.get("test_clocks", 0) for s in rounds),
+                    sum(s.attrs.get("oracle_queries", 0) for s in rounds),
+                ),
+                (root.attrs.get("test_clocks"), root.attrs.get("oracle_queries")),
+                round=round_no,
+                rounds=len(rounds),
+            )
+        ctx.compare(
+            "traced vs billed cost (recorder counters)",
+            (
+                recorder.counters.get("oracle.test_clocks", 0),
+                recorder.counters.get("oracle.queries", 0),
+            ),
+            (outcome.test_clocks, outcome.oracle_queries),
+            round=round_no,
+        )
+
+        # --- SAT attack: conflicts counter ----------------------------
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        target = foundry.copy(f"{foundry.name}_obs_sat")
+        recorder = Recorder()
+        with use_recorder(recorder):
+            sat_outcome = SatAttack(target, oracle).run()
+        ctx.compare(
+            "traced vs billed cost (sat recorder counters)",
+            (
+                recorder.counters.get("oracle.test_clocks", 0),
+                recorder.counters.get("sat.solver_conflicts", 0),
+            ),
+            (sat_outcome.test_clocks, sat_outcome.solver_conflicts),
+            round=round_no,
+        )

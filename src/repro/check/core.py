@@ -17,11 +17,11 @@ so a reported divergence replays exactly from its coordinates alone —
 from __future__ import annotations
 
 import random
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..obs import Stopwatch, span
 from ..sweep.spec import derive_seed
 
 #: The mini ISCAS suite the CI job sweeps: the worked example from the
@@ -176,6 +176,7 @@ def _load_builtin_checks() -> None:
     # Import for the registration side effect; keep cli startup lazy.
     from . import checks_attacks  # noqa: F401
     from . import checks_metamorphic  # noqa: F401
+    from . import checks_obs  # noqa: F401
     from . import checks_sat  # noqa: F401
     from . import checks_sim  # noqa: F401
     from . import checks_sweep  # noqa: F401
@@ -307,35 +308,52 @@ def run_checks(
         raise CheckError("no checks to run")
     if not circuits:
         raise CheckError("no circuits to run checks on")
-    start = time.perf_counter()
+    clock = Stopwatch()
     report = CheckReport()
-    for check in checks:
-        for circuit in circuits:
-            for seed in seeds:
-                rounds = check.rounds(trials)
-                outcome = CheckOutcome(
-                    check=check.name,
-                    family=check.family,
-                    circuit=circuit,
-                    seed=seed,
-                    trials=rounds,
-                )
-                context = CheckContext(
-                    check=check,
-                    circuit=circuit,
-                    seed=seed,
-                    trials=rounds,
-                    gen_seed=gen_seed,
-                    outcome=outcome,
-                )
-                cell_start = time.perf_counter()
-                try:
-                    check.fn(context)
-                except Exception:  # noqa: BLE001 - recorded as data
-                    outcome.error = traceback.format_exc(limit=8)
-                outcome.seconds = time.perf_counter() - cell_start
-                report.outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
-    report.wall_seconds = time.perf_counter() - start
+    with span(
+        "check.run", checks=len(checks), circuits=len(circuits)
+    ) as run_span:
+        for check in checks:
+            for circuit in circuits:
+                for seed in seeds:
+                    rounds = check.rounds(trials)
+                    outcome = CheckOutcome(
+                        check=check.name,
+                        family=check.family,
+                        circuit=circuit,
+                        seed=seed,
+                        trials=rounds,
+                    )
+                    context = CheckContext(
+                        check=check,
+                        circuit=circuit,
+                        seed=seed,
+                        trials=rounds,
+                        gen_seed=gen_seed,
+                        outcome=outcome,
+                    )
+                    cell_clock = Stopwatch()
+                    with span(
+                        "check.cell",
+                        check=check.name,
+                        circuit=circuit,
+                        seed=seed,
+                    ) as cell_span:
+                        try:
+                            check.fn(context)
+                        except Exception:  # noqa: BLE001 - recorded as data
+                            outcome.error = traceback.format_exc(limit=8)
+                        cell_span.set(
+                            passed=outcome.ok,
+                            divergences=len(outcome.divergences),
+                        )
+                    outcome.seconds = cell_clock.elapsed()
+                    report.outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+        run_span.set(
+            passed=sum(1 for o in report.outcomes if o.ok),
+            failed=sum(1 for o in report.outcomes if not o.ok),
+        )
+    report.wall_seconds = clock.elapsed()
     return report

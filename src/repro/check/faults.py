@@ -12,10 +12,10 @@ are byte-for-byte the ones the normal run uses.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import Stopwatch, span
 from .core import CheckReport, resolve_checks, run_checks
 
 
@@ -240,21 +240,28 @@ def run_fault_injection(
     A fault whose family reports zero divergences means the family is
     vacuous for that defect class — the self-test fails.
     """
-    start = time.perf_counter()
+    clock = Stopwatch()
     report = FaultInjectionReport()
     for fault in FAULTS:
         undo = fault.inject()
-        fault_start = time.perf_counter()
-        try:
-            family_report = run_checks(
-                checks=resolve_checks([fault.family]),
-                circuits=circuits,
-                seeds=(seed,),
-                trials=trials,
-                gen_seed=gen_seed,
+        fault_clock = Stopwatch()
+        with span(
+            "check.fault", fault=fault.name, family=fault.family
+        ) as fault_span:
+            try:
+                family_report = run_checks(
+                    checks=resolve_checks([fault.family]),
+                    circuits=circuits,
+                    seeds=(seed,),
+                    trials=trials,
+                    gen_seed=gen_seed,
+                )
+            finally:
+                undo()
+            fault_span.set(
+                fired=bool(family_report.divergences),
+                divergences=len(family_report.divergences),
             )
-        finally:
-            undo()
         outcome = FaultOutcome(
             fault=fault.name,
             family=fault.family,
@@ -262,11 +269,11 @@ def run_fault_injection(
             fired=bool(family_report.divergences),
             divergences=len(family_report.divergences),
             comparisons=family_report.comparisons,
-            seconds=time.perf_counter() - fault_start,
+            seconds=fault_clock.elapsed(),
             report=family_report,
         )
         report.outcomes.append(outcome)
         if progress is not None:
             progress(outcome)
-    report.wall_seconds = time.perf_counter() - start
+    report.wall_seconds = clock.elapsed()
     return report

@@ -40,6 +40,7 @@ from .locking import (
 )
 from .lut import HybridMapper, bitstream
 from .netlist import bench_io
+from .obs import Recorder, span, to_chrome_trace, use_recorder
 from .reporting import format_scientific, format_table
 
 
@@ -348,12 +349,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     def progress(event: dict) -> None:
         if event["event"] == "resume":
-            print(
-                f"[sweep] {event['cached']} of {event['total']} trials "
-                "already cached",
-                file=sys.stderr,
-                flush=True,
-            )
+            # The runner emits this event unconditionally (it sizes the
+            # run); only a warm cache is worth a line of output.
+            if event["cached"]:
+                print(
+                    f"[sweep] {event['cached']} of {event['total']} trials "
+                    "already cached",
+                    file=sys.stderr,
+                    flush=True,
+                )
             return
         eta = f"  eta {event['eta']:.0f}s" if event["eta"] else ""
         print(
@@ -489,6 +493,19 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import summarize_chrome_trace
+
+    import json as _json
+
+    try:
+        document = _json.loads(Path(args.file).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {args.file}: {exc}")
+    print(summarize_chrome_trace(document))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     print(
         "Benchmark reports are generated by the pytest-benchmark harness:\n"
@@ -512,13 +529,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_gen = sub.add_parser("gen", help="generate a benchmark circuit")
+    # Shared by every subcommand: record the run's span tree and write it
+    # as Chrome trace-event JSON (chrome://tracing / Perfetto / `repro-lock
+    # trace summarize`).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans/counters for this command and write them as "
+        "Chrome trace-event JSON to PATH",
+    )
+
+    p_gen = sub.add_parser(
+        "gen", parents=[common], help="generate a benchmark circuit"
+    )
     p_gen.add_argument("circuit", help="benchmark name (e.g. s641, s38584, s27)")
     p_gen.add_argument("--out", default=None)
     p_gen.add_argument("--seed", type=int, default=2016)
     p_gen.set_defaults(func=cmd_gen)
 
-    p_lock = sub.add_parser("lock", help="run a selection algorithm")
+    p_lock = sub.add_parser("lock", parents=[common], help="run a selection algorithm")
     p_lock.add_argument("circuit", help=".bench file or benchmark name")
     p_lock.add_argument(
         "--algorithm",
@@ -531,7 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lock.add_argument("--absorb", action="store_true")
     p_lock.set_defaults(func=cmd_lock)
 
-    p_analyze = sub.add_parser("analyze", help="PPA + security of a hybrid")
+    p_analyze = sub.add_parser("analyze", parents=[common], help="PPA + security of a hybrid")
     p_analyze.add_argument("original")
     p_analyze.add_argument("hybrid")
     p_analyze.add_argument(
@@ -541,7 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.set_defaults(func=cmd_analyze)
 
-    p_attack = sub.add_parser("attack", help="attack a foundry-view netlist")
+    p_attack = sub.add_parser("attack", parents=[common], help="attack a foundry-view netlist")
     p_attack.add_argument("foundry")
     p_attack.add_argument("provisioned", help="oracle: the configured chip")
     p_attack.add_argument(
@@ -551,14 +582,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--no-scan", action="store_true")
     p_attack.set_defaults(func=cmd_attack)
 
-    p_program = sub.add_parser("program", help="provision a foundry netlist")
+    p_program = sub.add_parser("program", parents=[common], help="provision a foundry netlist")
     p_program.add_argument("foundry")
     p_program.add_argument("bitstream")
     p_program.add_argument("--out", default=None)
     p_program.set_defaults(func=cmd_program)
 
     p_flow = sub.add_parser(
-        "flow", help="run the full security-driven flow (Fig. 2)"
+        "flow", parents=[common], help="run the full security-driven flow (Fig. 2)"
     )
     p_flow.add_argument("circuit", help=".bench file or benchmark name")
     p_flow.add_argument(
@@ -575,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
+        parents=[common],
         help="run a circuits × algorithms × seeds × attacks experiment grid",
     )
     p_sweep.add_argument(
@@ -642,7 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lint = sub.add_parser(
-        "lint", help="static analysis: structural/security/timing rules"
+        "lint", parents=[common], help="static analysis: structural/security/timing rules"
     )
     p_lint.add_argument(
         "netlist", nargs="?", help=".bench file or benchmark name"
@@ -682,6 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
+        parents=[common],
         help="differential verification: cross-check redundant computations",
     )
     p_check.add_argument(
@@ -727,23 +760,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.set_defaults(func=cmd_check)
 
-    p_report = sub.add_parser("report", help="how to regenerate the paper's tables")
+    p_trace = sub.add_parser(
+        "trace", help="inspect a Chrome-trace file written by --trace"
+    )
+    p_trace.add_argument("action", choices=["summarize"])
+    p_trace.add_argument("file", help="trace JSON written by --trace PATH")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser("report", parents=[common], help="how to regenerate the paper's tables")
     p_report.set_defaults(func=cmd_report)
     return parser
+
+
+def _write_trace(recorder: Recorder, trace_path: str) -> None:
+    import json as _json
+
+    try:
+        Path(trace_path).write_text(
+            _json.dumps(to_chrome_trace(recorder), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"[trace] wrote {trace_path}", file=sys.stderr)
+    except OSError as exc:
+        print(
+            f"error: could not write trace {trace_path}: {exc}",
+            file=sys.stderr,
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    recorder = Recorder() if trace_path else None
     try:
-        return args.func(args)
+        if recorder is None:
+            return args.func(args)
+        with use_recorder(recorder):
+            with span(f"cli.{args.command}") as cli_span:
+                code = args.func(args)
+                cli_span.set(exit_code=code)
+        return code
+    except KeyboardInterrupt:
+        # Never folded into the generic handlers below: an interrupt must
+        # surface as the conventional 128+SIGINT exit, not a silent 0.
+        if recorder is not None:
+            recorder.record_error("interrupted", command=args.command)
+        return 130
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — normal exit.
+        # Closing stdout may fail a second time on the same dead pipe
+        # (or on an already-detached stream); only those failures are
+        # expected here, and they are recorded rather than swallowed.
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            if recorder is not None:
+                recorder.record_error(
+                    f"stdout close failed: {type(exc).__name__}: {exc}",
+                    command=args.command,
+                )
         return 0
+    finally:
+        if recorder is not None and trace_path:
+            _write_trace(recorder, str(trace_path))
 
 
 if __name__ == "__main__":  # pragma: no cover

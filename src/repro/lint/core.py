@@ -36,7 +36,8 @@ from typing import (
     Union,
 )
 
-from ..netlist.netlist import Netlist
+from ..netlist.netlist import Netlist, NetlistError
+from ..obs import record_error
 
 
 class Severity(enum.Enum):
@@ -151,6 +152,11 @@ class LintContext:
         self.config = config or LintConfig()
         self.metadata = metadata
         self.source_text = source_text
+        #: Structural STA failures recorded by :meth:`_safe_sta`; the
+        #: linter copies them into :attr:`LintReport.diagnostics` so a
+        #: netlist that cannot be timed says so instead of silently
+        #: skipping every timing rule.
+        self.sta_failures: List[str] = []
         self._timing = None
         self._timing_report: object = _UNSET
         self._original_report: object = _UNSET
@@ -183,7 +189,19 @@ class LintContext:
             return None
         try:
             return self.timing.analyze(netlist)
-        except Exception:  # broken structure — structural rules report it
+        except (NetlistError, KeyError) as exc:
+            # Broken structure (combinational loop, undriven net): the
+            # structural rules report the defect itself, but the fact that
+            # the netlist could not be *timed* is a diagnostic of its own —
+            # it explains why every timing rule came back empty.  Anything
+            # other than a structural failure propagates: a crash in the
+            # analyzer must not silently disable the timing family.
+            message = (
+                f"STA failed on {netlist.name!r}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            self.sta_failures.append(message)
+            record_error(message, netlist=netlist.name)
             return None
 
 
@@ -292,6 +310,10 @@ class LintReport:
     n_suppressed: int = 0
     #: Path of the linted artifact, when linting a file (used by SARIF).
     artifact: Optional[str] = None
+    #: Non-finding notes about the run itself (e.g. "STA failed, timing
+    #: rules skipped") — kept out of :attr:`findings` so they never gate
+    #: a flow, but rendered so the skip is visible.
+    diagnostics: List[str] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -450,6 +472,7 @@ class Linter:
             findings=findings,
             n_suppressed=n_suppressed,
             artifact=artifact,
+            diagnostics=list(ctx.sta_failures),
         )
 
     def run_source(

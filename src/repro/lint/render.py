@@ -29,16 +29,18 @@ def render_text(report: LintReport) -> str:
         f" ({counts['suppressed']} suppressed)" if counts["suppressed"] else ""
     )
     if not report.findings:
-        return f"lint: {report.netlist_name} — clean{suffix}"
-    head = (
-        f"lint: {report.netlist_name} — {counts['errors']} error(s), "
-        f"{counts['warnings']} warning(s){suffix}"
-    )
-    lines = [head]
-    for finding in report.findings:
-        lines.append(f"  {finding}")
-        if finding.autofix:
-            lines.append(f"      fix: {finding.autofix}")
+        lines = [f"lint: {report.netlist_name} — clean{suffix}"]
+    else:
+        lines = [
+            f"lint: {report.netlist_name} — {counts['errors']} error(s), "
+            f"{counts['warnings']} warning(s){suffix}"
+        ]
+        for finding in report.findings:
+            lines.append(f"  {finding}")
+            if finding.autofix:
+                lines.append(f"      fix: {finding.autofix}")
+    for note in report.diagnostics:
+        lines.append(f"  [note] {note}")
     return "\n".join(lines)
 
 
@@ -61,6 +63,7 @@ def to_json_dict(report: LintReport) -> dict:
             }
             for f in report.findings
         ],
+        "diagnostics": list(report.diagnostics),
     }
 
 

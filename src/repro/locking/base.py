@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import abc
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..analysis.paths import IOPath, PathFinder
 from ..analysis.sta import TimingAnalyzer
+from ..obs import Stopwatch, span
 from ..lut.mapping import HybridMapper, ProvisioningRecord
 from ..netlist.netlist import Netlist
 from ..techlib.cells import TechLibrary, cmos_90nm
@@ -72,26 +72,38 @@ class SelectionAlgorithm(abc.ABC):
 
     def run(self, netlist: Netlist) -> SelectionResult:
         """Execute the algorithm on a copy of *netlist*."""
-        start = time.perf_counter()
-        rng = random.Random((self.seed, self.name, netlist.name).__repr__())
-        hybrid = netlist.copy(f"{netlist.name}_{self.name}")
-        finder = PathFinder(
-            hybrid,
-            timing=self.timing,
-            sample_rate=self.sample_rate,
-            seed=rng.randrange(1 << 30),
-        )
-        paths = finder.collect_paths()
-        selected = self.select(hybrid, paths, rng)
-        mapper = HybridMapper(stt=self.stt, rng=rng)
-        replaced = mapper.replace(
-            hybrid,
-            selected,
-            decoy_inputs=self.decoy_inputs,
-            absorb=self.absorb,
-        )
-        provisioning = mapper.extract_provisioning(hybrid)
-        elapsed = time.perf_counter() - start
+        clock = Stopwatch()
+        with span(
+            f"lock.{self.name}", circuit=netlist.name, seed=self.seed
+        ) as lock_span:
+            rng = random.Random((self.seed, self.name, netlist.name).__repr__())
+            hybrid = netlist.copy(f"{netlist.name}_{self.name}")
+            with span("lock.paths") as paths_span:
+                finder = PathFinder(
+                    hybrid,
+                    timing=self.timing,
+                    sample_rate=self.sample_rate,
+                    seed=rng.randrange(1 << 30),
+                )
+                paths = finder.collect_paths()
+                paths_span.set(n_paths=len(paths))
+            with span("lock.select") as select_span:
+                selected = self.select(hybrid, paths, rng)
+                select_span.set(n_selected=len(selected))
+            with span("lock.replace"):
+                mapper = HybridMapper(stt=self.stt, rng=rng)
+                mapper.replace(
+                    hybrid,
+                    selected,
+                    decoy_inputs=self.decoy_inputs,
+                    absorb=self.absorb,
+                )
+            with span("lock.provision"):
+                provisioning = mapper.extract_provisioning(hybrid)
+            lock_span.set(
+                n_stt=len(hybrid.luts), key_bits=provisioning.total_bits
+            )
+        elapsed = clock.elapsed()
         return SelectionResult(
             algorithm=self.name,
             original=netlist,

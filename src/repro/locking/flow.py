@@ -33,6 +33,7 @@ from ..netlist import bench_io, verilog_io
 from ..netlist.netlist import Netlist, NetlistError
 from ..netlist.scan import disable_scan, has_scan_chain
 from ..netlist.simplify import sweep
+from ..obs import span
 from ..sim.seqsim import functional_match
 from ..techlib.cells import TechLibrary, cmos_90nm
 from ..techlib.stt import SttLibrary, stt_mtj_32nm
@@ -159,67 +160,95 @@ class SecurityDrivenFlow:
         """
         requirement = requirement or SecurityRequirement()
 
-        # Pre-flight gate: a structurally broken input would produce garbage
-        # selections and undebuggable sign-off failures, so abort up front.
-        preflight = self.linter.run(netlist, categories={Category.STRUCTURAL})
-        if preflight.has_errors:
-            raise NetlistError(
-                "pre-flight lint failed — aborting flow:\n"
-                + preflight.render_text()
+        with span(
+            "flow.run", circuit=netlist.name, level=requirement.level.value
+        ) as flow_span:
+            # Pre-flight gate: a structurally broken input would produce
+            # garbage selections and undebuggable sign-off failures, so
+            # abort up front.
+            with span("flow.preflight"):
+                preflight = self.linter.run(
+                    netlist, categories={Category.STRUCTURAL}
+                )
+            if preflight.has_errors:
+                raise NetlistError(
+                    "pre-flight lint failed — aborting flow:\n"
+                    + preflight.render_text()
+                )
+
+            algorithm = self.choose_algorithm(requirement)
+            with span("flow.select", algorithm=algorithm.name):
+                result = algorithm.run(netlist)
+            if result.n_stt < requirement.min_missing_gates:
+                raise NetlistError(
+                    f"selection produced {result.n_stt} missing gates; the "
+                    f"requirement demands ≥ {requirement.min_missing_gates}"
+                )
+
+            # Sign-off: the provisioned hybrid must implement the design.
+            with span("flow.signoff") as signoff_span:
+                verified = functional_match(
+                    netlist, result.hybrid, cycles=16, width=64
+                )
+                signoff_span.set(verified=verified)
+            if not verified:
+                raise NetlistError(
+                    "hybrid netlist failed functional sign-off — aborting flow"
+                )
+
+            with span("flow.evaluate"):
+                overhead = self.ppa.overhead(
+                    netlist, result.hybrid, result.algorithm
+                )
+                security = self.security.analyze(
+                    result.hybrid, result.algorithm
+                )
+
+            scan_disabled = False
+            release = result.hybrid
+            if requirement.disable_scan_on_release and has_scan_chain(release):
+                with span("flow.scan_disable"):
+                    disable_scan(release)
+                    # Incremental clean-up: the tied-off scan muxes fold
+                    # away, so the release netlist pays no area for the
+                    # disabled test logic.
+                    sweep(release)
+                scan_disabled = True
+
+            # Post-flight audit: security/timing rules over the release
+            # netlist, fed with the selection's lock metadata (USL closure
+            # record, original design for critical-path comparison).
+            # Warnings only — they land in the report for the designer to
+            # weigh, never abort a verified lock.
+            metadata = LockMetadata.from_selection(
+                result,
+                original=netlist,
+                timing_margin=requirement.timing_margin,
+            )
+            with span("flow.postflight"):
+                postflight = self.linter.run(
+                    release,
+                    metadata=metadata,
+                    categories={Category.SECURITY, Category.TIMING},
+                )
+            flow_span.set(
+                n_stt=result.n_stt,
+                scan_disabled=scan_disabled,
+                lint_findings=len(postflight.findings),
             )
 
-        algorithm = self.choose_algorithm(requirement)
-        result = algorithm.run(netlist)
-        if result.n_stt < requirement.min_missing_gates:
-            raise NetlistError(
-                f"selection produced {result.n_stt} missing gates; the "
-                f"requirement demands ≥ {requirement.min_missing_gates}"
+            report = FlowReport(
+                circuit=netlist.name,
+                level=requirement.level,
+                selection=result,
+                overhead=overhead,
+                security=security,
+                equivalence_verified=verified,
+                scan_disabled=scan_disabled,
+                lint=postflight,
             )
-
-        # Sign-off: the provisioned hybrid must implement the design.
-        verified = functional_match(netlist, result.hybrid, cycles=16, width=64)
-        if not verified:
-            raise NetlistError(
-                "hybrid netlist failed functional sign-off — aborting flow"
-            )
-
-        overhead = self.ppa.overhead(netlist, result.hybrid, result.algorithm)
-        security = self.security.analyze(result.hybrid, result.algorithm)
-
-        scan_disabled = False
-        release = result.hybrid
-        if requirement.disable_scan_on_release and has_scan_chain(release):
-            disable_scan(release)
-            # Incremental clean-up: the tied-off scan muxes fold away, so the
-            # release netlist pays no area for the disabled test logic.
-            sweep(release)
-            scan_disabled = True
-
-        # Post-flight audit: security/timing rules over the release netlist,
-        # fed with the selection's lock metadata (USL closure record, original
-        # design for critical-path comparison).  Warnings only — they land in
-        # the report for the designer to weigh, never abort a verified lock.
-        metadata = LockMetadata.from_selection(
-            result, original=netlist, timing_margin=requirement.timing_margin
-        )
-        postflight = self.linter.run(
-            release,
-            metadata=metadata,
-            categories={Category.SECURITY, Category.TIMING},
-        )
-
-        report = FlowReport(
-            circuit=netlist.name,
-            level=requirement.level,
-            selection=result,
-            overhead=overhead,
-            security=security,
-            equivalence_verified=verified,
-            scan_disabled=scan_disabled,
-            lint=postflight,
-        )
-        if output_dir is not None:
-            report.artifacts = self._emit(result, Path(output_dir))
+            if output_dir is not None:
+                report.artifacts = self._emit(result, Path(output_dir))
         return report
 
     # ------------------------------------------------------------------

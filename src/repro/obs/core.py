@@ -1,0 +1,343 @@
+"""Recorder, spans, counters, and the ambient-instrumentation API.
+
+The model is deliberately small:
+
+* a :class:`Recorder` owns three stores — a flat list of
+  :class:`SpanRecord` (the span *tree* is encoded through parent
+  indices), integer counters, and float gauges — plus an error channel;
+* :func:`span` / :func:`add_counter` / :func:`set_gauge` /
+  :func:`record_error` write to the *ambient* recorder installed with
+  :func:`use_recorder`, and are near-free no-ops when none is installed;
+* a recorder serializes with :meth:`Recorder.to_dict` (plain JSON) and
+  another recorder can absorb that payload with
+  :meth:`Recorder.merge_child` — the cross-process story: each sweep
+  worker records locally and the runner merges the buffers back.
+
+Timing uses ``time.perf_counter`` for durations (monotonic) and
+``time.time`` once per recorder as a wall-clock epoch, which is what
+makes buffers recorded in different processes mergeable onto one
+timeline: perf-counter origins are per-process, wall clocks agree.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Serialization schema tag for :meth:`Recorder.to_dict` payloads.
+SCHEMA = "repro.obs/1"
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a span attribute to something ``json.dump`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class SpanRecord:
+    """One timed node of the span tree.
+
+    ``start`` is seconds since the owning recorder's wall-clock epoch, so
+    spans merged from another process land on the parent's timeline.
+    ``parent`` is the index of the enclosing span in the recorder's flat
+    ``spans`` list (``None`` for roots).
+    """
+
+    name: str
+    index: int
+    parent: Optional[int]
+    start: float
+    duration: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    thread: str = "main"
+
+    def set(self, **attrs: Any) -> "SpanRecord":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+            "pid": self.pid,
+            "thread": self.thread,
+        }
+
+
+class _NullSpan:
+    """The span handed out when no recorder is installed: accepts
+    attribute writes and discards them."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: Shared do-nothing span; identity-comparable (``sp is NULL_SPAN``).
+NULL_SPAN = _NullSpan()
+
+
+class Stopwatch:
+    """A monotonic timer; the only sanctioned ``perf_counter`` wrapper.
+
+    >>> clock = Stopwatch()
+    >>> ... work ...
+    >>> seconds = clock.elapsed()
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Return the elapsed time and reset the start point."""
+        now = time.perf_counter()
+        elapsed, self._start = now - self._start, now
+        return elapsed
+
+
+class Recorder:
+    """Thread-safe in-memory trace/metric store.
+
+    One recorder may be written from many threads (every mutation takes
+    the internal lock; the open-span stack is thread-local so spans nest
+    per thread).  Cross-*process* use goes through serialization:
+    :meth:`to_dict` in the child, :meth:`merge_child` in the parent.
+    """
+
+    def __init__(self) -> None:
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.errors: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- span recording ------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._stacks, "open", None)
+        if stack is None:
+            stack = self._stacks.open = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        stack = self._stack()
+        record = SpanRecord(
+            name=name,
+            index=0,
+            parent=stack[-1] if stack else None,
+            start=time.perf_counter() - self._epoch_perf,
+            attrs=dict(attrs),
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+        )
+        with self._lock:
+            record.index = len(self.spans)
+            self.spans.append(record)
+        stack.append(record.index)
+        begin = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - begin
+            stack.pop()
+
+    def current_span(self) -> Optional[SpanRecord]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return self.spans[stack[-1]] if stack else None
+
+    # -- metrics -------------------------------------------------------
+    def add_counter(self, name: str, value: int = 1) -> None:
+        """Accumulate an integer counter (floats/bools are type errors —
+        a counter is a count; continuous quantities belong in gauges)."""
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(
+                f"counter {name!r} takes int increments, got {value!r}"
+            )
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a last-write-wins float gauge."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"gauge {name!r} takes a number, got {value!r}")
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def record_error(self, message: str, **details: Any) -> None:
+        """Append to the error channel (exceptions that used to be
+        swallowed silently land here, timestamped and attributed)."""
+        entry = {
+            "message": message,
+            "time": time.perf_counter() - self._epoch_perf,
+            "details": {k: _json_safe(v) for k, v in details.items()},
+        }
+        with self._lock:
+            self.errors.append(entry)
+
+    # -- serialization / merging ---------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "epoch_wall": self.epoch_wall,
+                "spans": [s.to_dict() for s in self.spans],
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "errors": list(self.errors),
+            }
+
+    def merge_child(
+        self,
+        payload: Dict[str, Any],
+        parent: Optional[SpanRecord] = None,
+    ) -> None:
+        """Absorb a serialized child recorder (:meth:`to_dict` output).
+
+        Child span start times are rebased through the wall-clock epochs
+        so both buffers share one timeline; child root spans are
+        re-parented under *parent* when given.  Counters are summed,
+        gauges last-write-win, errors are concatenated.
+        """
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"cannot merge obs payload with schema "
+                f"{payload.get('schema')!r} (expected {SCHEMA!r})"
+            )
+        offset = float(payload.get("epoch_wall", self.epoch_wall)) - (
+            self.epoch_wall
+        )
+        with self._lock:
+            base = len(self.spans)
+            for sdict in payload.get("spans", ()):
+                child_parent = sdict.get("parent")
+                if child_parent is None:
+                    new_parent = parent.index if parent is not None else None
+                else:
+                    new_parent = base + int(child_parent)
+                self.spans.append(
+                    SpanRecord(
+                        name=sdict["name"],
+                        index=base + int(sdict["index"]),
+                        parent=new_parent,
+                        start=float(sdict["start"]) + offset,
+                        duration=float(sdict["duration"]),
+                        attrs=dict(sdict.get("attrs", {})),
+                        pid=int(sdict.get("pid", 0)),
+                        thread=str(sdict.get("thread", "main")),
+                    )
+                )
+            for name, value in payload.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + int(value)
+            for name, value in payload.get("gauges", {}).items():
+                self.gauges[name] = float(value)
+            self.errors.extend(payload.get("errors", ()))
+
+    # -- views ---------------------------------------------------------
+    def children(self, parent: Optional[int]) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent == parent]
+
+    def find(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed duration of every span named *name*."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+
+# ----------------------------------------------------------------------
+# the ambient recorder
+# ----------------------------------------------------------------------
+#: The process-wide active recorder (``None`` = observability off).  A
+#: plain module global so the disabled-path cost of :func:`span` and
+#: :func:`add_counter` is one dict-free attribute read.
+_ACTIVE: Optional[Recorder] = None
+
+
+def get_recorder() -> Optional[Recorder]:
+    """The currently installed recorder, or ``None``."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """Install *recorder* as the ambient sink; returns the previous one."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, recorder
+    return previous
+
+
+def enabled() -> bool:
+    """True when an ambient recorder is installed."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def use_recorder(recorder: Optional[Recorder]) -> Iterator[Optional[Recorder]]:
+    """Install *recorder* for the dynamic extent of the ``with`` block
+    (restores the previous recorder on exit; ``None`` disables)."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Any]:
+    """Open a span on the ambient recorder (no-op when none installed).
+
+    Yields the :class:`SpanRecord` (or :data:`NULL_SPAN`), so callers can
+    attach results discovered mid-span: ``sp.set(test_clocks=...)``.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        yield NULL_SPAN
+        return
+    with recorder.span(name, **attrs) as record:
+        yield record
+
+
+def add_counter(name: str, value: int = 1) -> None:
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.add_counter(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.set_gauge(name, value)
+
+
+def record_error(message: str, **details: Any) -> None:
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.record_error(message, **details)

@@ -47,6 +47,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..netlist.gates import GateType, truth_table_to_type
 from ..netlist.graph import combinational_order
 from ..netlist.netlist import Netlist, NetlistError, Node
+from ..obs import add_counter, span
 
 #: Dynamic (runtime-config) LUTs up to this fan-in are unrolled inline as a
 #: branch-free select over minterm masks; wider ones call the shared
@@ -204,8 +205,16 @@ class CompiledProgram:
             else:
                 self.folded.append((node, node.lut_config))
         self._nodes = {name: netlist.node(name) for name in self._order}
-        self.source = self._generate(with_overrides=False)
-        self._fast = self._compile(self.source, "_run", netlist.name)
+        with span(
+            "sim.codegen",
+            circuit=netlist.name,
+            gates=len(self._order),
+            dynamic_luts=len(self.dynamic_nodes),
+            force_dynamic=force_dynamic,
+        ):
+            self.source = self._generate(with_overrides=False)
+            self._fast = self._compile(self.source, "_run", netlist.name)
+        add_counter("sim.codegen_compiles")
         self.override_source: Optional[str] = None
         self._ov_fn = None
         self._netlist_name = netlist.name
@@ -296,12 +305,20 @@ class CompiledProgram:
     ) -> Dict[str, int]:
         mask = (1 << width) - 1
         cfg = [node.lut_config for node in self.dynamic_nodes]
+        add_counter("sim.compiled_evaluations")
         if overrides:
             if self._ov_fn is None:
-                self.override_source = self._generate(with_overrides=True)
-                self._ov_fn = self._compile(
-                    self.override_source, "_run_ov", self._netlist_name
-                )
+                with span(
+                    "sim.codegen",
+                    circuit=self._netlist_name,
+                    gates=len(self._order),
+                    override_kernel=True,
+                ):
+                    self.override_source = self._generate(with_overrides=True)
+                    self._ov_fn = self._compile(
+                        self.override_source, "_run_ov", self._netlist_name
+                    )
+                add_counter("sim.codegen_compiles")
             return self._ov_fn(inputs, state or _EMPTY, mask, cfg, overrides)
         return self._fast(inputs, state or _EMPTY, mask, cfg)
 

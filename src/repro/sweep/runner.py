@@ -26,13 +26,21 @@ Design:
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs import (
+    SpanRecord,
+    Stopwatch,
+    add_counter,
+    get_recorder,
+    record_error,
+    set_gauge,
+    span,
+)
 from .cache import ResultCache, trial_key
 from .spec import SweepSpec, Trial
 from .trial import canonical_row, circuit_sha, run_trial
@@ -117,48 +125,79 @@ class SweepRunner:
         self.resume = resume
         self.progress = progress
         self.chunksize = chunksize
+        #: Root span of the in-flight run; worker span trees are merged
+        #: under it (None while no traced run is active).
+        self._run_span: Optional[SpanRecord] = None
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
-        start = time.perf_counter()
+        clock = Stopwatch()
         trials = spec.trials()
         stats = SweepStats(total=len(trials), workers=self.workers)
         rows: List[Optional[Dict[str, Any]]] = [None] * len(trials)
         keys: List[Optional[str]] = [None] * len(trials)
 
-        # Resolve circuits (parent-side, memoized per distinct circuit) so
-        # every trial has a content-addressed key; a circuit that cannot
-        # even be loaded fails its trials up front.
-        pending: List[Tuple[int, Trial]] = []
-        for index, trial in enumerate(trials):
-            try:
-                sha = circuit_sha(trial.circuit, trial.gen_seed)
-            except Exception as exc:  # noqa: BLE001 - recorded as data
-                rows[index] = self._failed_row(trial, exc)
-                continue
-            keys[index] = trial_key(trial, sha)
-            cached = None
-            if self.cache is not None and self.resume:
-                cached = self.cache.get(keys[index])
-            if cached is not None and cached.get("status") == "ok":
-                cached.setdefault("timing", {})["from_cache"] = True
-                rows[index] = cached
-                stats.cached += 1
-            else:
-                pending.append((index, trial))
+        # ``wall_seconds`` is accounted in a ``finally`` so every exit —
+        # the happy path, the BrokenProcessPool serial fallback, even an
+        # exception propagating out of a stage — leaves the stats with
+        # real wall time instead of the 0.0 default.
+        try:
+            with span(
+                "sweep.run", trials=len(trials), workers=self.workers
+            ) as run_span:
+                self._run_span = run_span if isinstance(
+                    run_span, SpanRecord
+                ) else None
 
-        self._emit_initial(rows, stats, start)
+                # Resolve circuits (parent-side, memoized per distinct
+                # circuit) so every trial has a content-addressed key; a
+                # circuit that cannot even be loaded fails its trials up
+                # front.
+                pending: List[Tuple[int, Trial]] = []
+                with span("sweep.resolve") as resolve_span:
+                    for index, trial in enumerate(trials):
+                        try:
+                            sha = circuit_sha(trial.circuit, trial.gen_seed)
+                        except Exception as exc:  # noqa: BLE001 - recorded as data
+                            rows[index] = self._failed_row(trial, exc)
+                            continue
+                        keys[index] = trial_key(trial, sha)
+                        cached = None
+                        if self.cache is not None and self.resume:
+                            cached = self.cache.get(keys[index])
+                        if cached is not None and cached.get("status") == "ok":
+                            cached.setdefault("timing", {})["from_cache"] = True
+                            rows[index] = cached
+                            stats.cached += 1
+                        else:
+                            pending.append((index, trial))
+                    resolve_span.set(
+                        cached=stats.cached, pending=len(pending)
+                    )
+                add_counter("sweep.cache_hits", stats.cached)
 
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                self._run_serial(pending, rows, keys, stats, start)
-            else:
-                self._run_parallel(pending, rows, keys, stats, start)
+                self._emit_initial(rows, stats, clock)
 
-        stats.failed = sum(
-            1 for row in rows if row is not None and row["status"] != "ok"
-        )
-        stats.wall_seconds = time.perf_counter() - start
+                if pending:
+                    if self.workers == 1 or len(pending) == 1:
+                        self._run_serial(pending, rows, keys, stats, clock)
+                    else:
+                        self._run_parallel(pending, rows, keys, stats, clock)
+
+                stats.failed = sum(
+                    1
+                    for row in rows
+                    if row is not None and row["status"] != "ok"
+                )
+                run_span.set(
+                    executed=stats.executed,
+                    cached=stats.cached,
+                    failed=stats.failed,
+                )
+        finally:
+            stats.wall_seconds = clock.elapsed()
+            self._run_span = None
+        set_gauge("sweep.wall_seconds", stats.wall_seconds)
         assert all(row is not None for row in rows)
         return SweepResult(spec=spec, rows=list(rows), stats=stats)
 
@@ -184,10 +223,11 @@ class SweepRunner:
         rows: List[Optional[Dict[str, Any]]],
         keys: List[Optional[str]],
         stats: SweepStats,
-        start: float,
+        clock: Stopwatch,
     ) -> None:
         rows[index] = row
         stats.executed += 1
+        self._merge_trial_trace(row)
         if (
             self.cache is not None
             and keys[index] is not None
@@ -195,10 +235,34 @@ class SweepRunner:
         ):
             # Failures are not cached: a resume retries them.
             self.cache.put(keys[index], row)
-        self._emit(trial, row, rows, stats, start)
+        self._emit(trial, row, rows, stats, clock)
 
-    def _emit_initial(self, rows, stats: SweepStats, start: float) -> None:
-        if self.progress is None or stats.cached == 0:
+    def _merge_trial_trace(self, row: Dict[str, Any]) -> None:
+        """Fold an *executed* trial's span tree (recorded in the worker,
+        shipped back inside the row's ``timing`` block) into the parent's
+        active recorder.  Cached rows are never merged: their payloads
+        describe a previous run's wall clock."""
+        recorder = get_recorder()
+        if recorder is None:
+            return
+        payload = (row.get("timing") or {}).get("obs")
+        if not payload:
+            return
+        try:
+            recorder.merge_child(payload, parent=self._run_span)
+        except (KeyError, TypeError, ValueError) as exc:
+            record_error(
+                f"unmergeable trial trace: {type(exc).__name__}: {exc}",
+                label=str((row.get("trial") or {}).get("circuit")),
+            )
+
+    def _emit_initial(
+        self, rows, stats: SweepStats, clock: Stopwatch
+    ) -> None:
+        # Always emitted when a progress sink is attached — a cold run
+        # (``cached == 0``) still announces the sweep's size, so consumers
+        # can size progress bars without special-casing the first event.
+        if self.progress is None:
             return
         self.progress(
             {
@@ -206,9 +270,19 @@ class SweepRunner:
                 "done": sum(1 for r in rows if r is not None),
                 "total": stats.total,
                 "cached": stats.cached,
-                "elapsed": time.perf_counter() - start,
+                "elapsed": clock.elapsed(),
             }
         )
+
+    @staticmethod
+    def _eta(elapsed: float, executed: int, remaining: int) -> float:
+        """Estimated seconds left.  Defined at every boundary: nothing
+        executed yet (cached-only progress) and a first trial finishing
+        in ~0 s both yield a finite, non-negative estimate instead of a
+        division by zero."""
+        if remaining <= 0 or executed <= 0:
+            return 0.0
+        return max(elapsed, 0.0) / executed * remaining
 
     def _emit(
         self,
@@ -216,18 +290,14 @@ class SweepRunner:
         row: Dict[str, Any],
         rows,
         stats: SweepStats,
-        start: float,
+        clock: Stopwatch,
     ) -> None:
         if self.progress is None:
             return
         done = sum(1 for r in rows if r is not None)
-        elapsed = time.perf_counter() - start
+        elapsed = clock.elapsed()
         remaining = stats.total - done
-        eta = (
-            elapsed / max(stats.executed, 1) * remaining
-            if remaining
-            else 0.0
-        )
+        eta = self._eta(elapsed, stats.executed, remaining)
         self.progress(
             {
                 "event": "trial",
@@ -245,17 +315,17 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _run_serial(
-        self, pending, rows, keys, stats: SweepStats, start: float
+        self, pending, rows, keys, stats: SweepStats, clock: Stopwatch
     ) -> None:
         for index, trial in pending:
             if rows[index] is not None:
                 continue
             self._record(
-                index, trial, run_trial(trial), rows, keys, stats, start
+                index, trial, run_trial(trial), rows, keys, stats, clock
             )
 
     def _run_parallel(
-        self, pending, rows, keys, stats: SweepStats, start: float
+        self, pending, rows, keys, stats: SweepStats, clock: Stopwatch
     ) -> None:
         chunks = _chunked(pending, self.workers, self.chunksize)
         broken = False
@@ -279,7 +349,7 @@ class SweepRunner:
                             ):
                                 self._record(
                                     index, trial, row, rows, keys, stats,
-                                    start,
+                                    clock,
                                 )
                         elif isinstance(exc, BrokenProcessPool):
                             broken = True
@@ -291,7 +361,7 @@ class SweepRunner:
                                     index,
                                     trial,
                                     self._failed_row(trial, exc),
-                                    rows, keys, stats, start,
+                                    rows, keys, stats, clock,
                                 )
                     if broken:
                         break
@@ -307,7 +377,7 @@ class SweepRunner:
                 for index, trial in pending
                 if rows[index] is None
             ]
-            self._run_serial(leftovers, rows, keys, stats, start)
+            self._run_serial(leftovers, rows, keys, stats, clock)
 
 
 def run_sweep(

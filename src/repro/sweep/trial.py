@@ -22,13 +22,13 @@ result cache both rest on.
 
 from __future__ import annotations
 
-import time
 import traceback
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from ..netlist import bench_io
 from ..netlist.netlist import Netlist
+from ..obs import Recorder, Stopwatch, span, use_recorder
 from .cache import RESULT_SCHEMA, netlist_sha
 from .spec import Trial
 
@@ -174,31 +174,56 @@ def run_trial(trial: Trial) -> Dict[str, Any]:
     crash) is captured as a ``status: "failed"`` row so one bad cell
     cannot kill a sweep.
     """
-    start = time.perf_counter()
+    clock = Stopwatch()
+    # Every trial records into its own private recorder so that worker
+    # processes (which share no memory with the parent) can hand their
+    # span trees back inside the row itself.  The payload lives under
+    # ``timing`` — the key :func:`canonical_row` strips — so cached and
+    # fresh rows stay bit-identical whether or not tracing ran.
+    recorder = Recorder()
     try:
-        row = _run_trial_inner(trial)
-    except BaseException as exc:  # noqa: BLE001 - failure is data here
-        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-            raise
-        row = {
-            "schema": RESULT_SCHEMA,
-            "trial": trial.identity(),
-            "netlist_sha": _SHA_MEMO.get((trial.circuit, trial.gen_seed)),
-            "status": "failed",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(limit=8),
-            "metrics": None,
-            "timing": {},
-        }
-    row["timing"]["trial_seconds"] = time.perf_counter() - start
+        with use_recorder(recorder):
+            with span(
+                "sweep.trial",
+                label=trial.label(),
+                circuit=trial.circuit,
+                algorithm=trial.algorithm,
+                attack=trial.attack,
+            ) as trial_span:
+                try:
+                    row = _run_trial_inner(trial)
+                    trial_span.set(status="ok")
+                except BaseException as exc:  # noqa: BLE001 - failure is data here
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    trial_span.set(
+                        status="failed", error=f"{type(exc).__name__}: {exc}"
+                    )
+                    row = {
+                        "schema": RESULT_SCHEMA,
+                        "trial": trial.identity(),
+                        "netlist_sha": _SHA_MEMO.get(
+                            (trial.circuit, trial.gen_seed)
+                        ),
+                        "status": "failed",
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(limit=8),
+                        "metrics": None,
+                        "timing": {},
+                    }
+    finally:
+        elapsed = clock.elapsed()
+    row["timing"]["trial_seconds"] = elapsed
+    row["timing"]["obs"] = recorder.to_dict()
     return row
 
 
 def _run_trial_inner(trial: Trial) -> Dict[str, Any]:
     from ..locking import ALGORITHMS
 
-    netlist = load_circuit(trial.circuit, trial.gen_seed)
-    sha = circuit_sha(trial.circuit, trial.gen_seed)
+    with span("trial.load", circuit=trial.circuit):
+        netlist = load_circuit(trial.circuit, trial.gen_seed)
+        sha = circuit_sha(trial.circuit, trial.gen_seed)
     try:
         algorithm_cls = ALGORITHMS[trial.algorithm]
     except KeyError:
@@ -207,7 +232,8 @@ def _run_trial_inner(trial: Trial) -> Dict[str, Any]:
             f"choose from {sorted(ALGORITHMS)}"
         ) from None
     algorithm = algorithm_cls(seed=trial.seed, **{k: v for k, v in trial.params})
-    result = algorithm.run(netlist)
+    with span("trial.lock", algorithm=trial.algorithm):
+        result = algorithm.run(netlist)
 
     metrics: Dict[str, Any] = {
         "size": len(netlist.gates),
@@ -216,9 +242,10 @@ def _run_trial_inner(trial: Trial) -> Dict[str, Any]:
         "key_bits": result.provisioning.total_bits,
     }
     if "ppa" in trial.analyses:
-        overhead = _ppa_analyzer().overhead(
-            netlist, result.hybrid, trial.algorithm
-        )
+        with span("trial.analysis.ppa"):
+            overhead = _ppa_analyzer().overhead(
+                netlist, result.hybrid, trial.algorithm
+            )
         metrics["overhead"] = {
             "performance_degradation_pct": overhead.performance_degradation_pct,
             "power_overhead_pct": overhead.power_overhead_pct,
@@ -227,7 +254,10 @@ def _run_trial_inner(trial: Trial) -> Dict[str, Any]:
             "size": overhead.size,
         }
     if "security" in trial.analyses:
-        security = _security_analyzer().analyze(result.hybrid, trial.algorithm)
+        with span("trial.analysis.security"):
+            security = _security_analyzer().analyze(
+                result.hybrid, trial.algorithm
+            )
         metrics["security"] = {
             "n_missing": security.n_missing,
             "accessible_inputs": security.accessible_inputs,
@@ -237,7 +267,8 @@ def _run_trial_inner(trial: Trial) -> Dict[str, Any]:
             "log10_n_bf": security.log10_n_bf,
         }
     if trial.attack != "none":
-        metrics["attack"] = _run_attack(trial, result)
+        with span("trial.attack", attack=trial.attack):
+            metrics["attack"] = _run_attack(trial, result)
 
     return {
         "schema": RESULT_SCHEMA,

@@ -371,6 +371,122 @@ def test_cli_sweep_exit_code_on_failure(tmp_path):
     )
 
 
+def test_resume_event_fires_even_with_cold_cache(tmp_path):
+    """Regression: the resume event used to be skipped when nothing was
+    cached, so consumers could not distinguish 'cold cache' from 'no
+    resume attempted'."""
+    events = []
+    spec = SweepSpec(circuits=("s27",), algorithms=("independent",))
+    run_sweep(spec, cache_dir=tmp_path / "c", progress=events.append)
+    resume = events[0]
+    assert resume["event"] == "resume"
+    assert resume["cached"] == 0 and resume["done"] == 0
+    assert resume["total"] == 1
+
+
+def test_eta_is_boundary_safe():
+    """Regression: a ~0s first trial divided by zero-ish elapsed time and
+    a fully-cached resume divided by executed == 0."""
+    eta = runner_mod.SweepRunner._eta
+    assert eta(0.0, 0, 5) == 0.0  # nothing executed yet
+    assert eta(10.0, 4, 0) == 0.0  # nothing remaining
+    assert eta(-0.001, 1, 5) == 0.0  # clock skew never goes negative
+    assert eta(2.0, 4, 6) == pytest.approx(3.0)
+    assert eta(0.0, 3, 7) == 0.0  # instant trials: finite, not inf/nan
+
+
+def test_broken_pool_fallback_still_accounts_wall_time(
+    monkeypatch, tmp_path
+):
+    """Regression: the serial-fallback path returned with
+    ``stats.wall_seconds`` still at its 0.0 default."""
+
+    class ExplodingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args, **kwargs):
+            from concurrent.futures import Future
+
+            future = Future()
+            future.set_exception(BrokenProcessPool("worker died"))
+            return future
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
+    spec = SweepSpec(circuits=("s27",), algorithms=("independent",))
+    result = run_sweep(spec, workers=2, cache_dir=tmp_path / "c")
+    assert not result.failed_rows()
+    assert result.stats.wall_seconds > 0.0
+
+
+# ----------------------------------------------------------------------
+# tracing integration
+# ----------------------------------------------------------------------
+def test_rows_carry_span_trees_under_the_timing_key():
+    row = run_trial(SMALL_SPEC.trials()[0])
+    payload = row["timing"]["obs"]
+    assert payload["schema"] == "repro.obs/1"
+    names = [s["name"] for s in payload["spans"]]
+    assert names[0] == "sweep.trial"
+    assert "trial.lock" in names
+    # The span tree rides in the excluded timing block, so it never
+    # perturbs the canonical (cacheable) row.
+    assert "timing" not in canonical_row(row)
+
+
+def test_traced_warm_resume_is_bit_identical(tmp_path):
+    from repro.obs import Recorder, use_recorder
+
+    spec = SweepSpec(circuits=("s27",), algorithms=("independent",), seeds=(0, 1))
+    cache_dir = tmp_path / "cache"
+    cold = run_sweep(spec, cache_dir=cache_dir)
+    with use_recorder(Recorder()):
+        warm = run_sweep(spec, cache_dir=cache_dir)
+    assert warm.stats.cached == 2 and warm.stats.executed == 0
+    assert warm.canonical_rows() == cold.canonical_rows()
+
+
+def test_parallel_traced_run_merges_worker_spans(tmp_path):
+    from repro.obs import Recorder, use_recorder
+
+    spec = SweepSpec(
+        circuits=("s27",),
+        algorithms=("independent",),
+        seeds=(0, 1),
+        attacks=("sat",),
+    )
+    recorder = Recorder()
+    with use_recorder(recorder):
+        result = run_sweep(spec, workers=2, cache_dir=tmp_path / "c")
+    assert result.stats.executed == 2
+
+    (run_span,) = recorder.find("sweep.run")
+    trial_spans = recorder.find("sweep.trial")
+    assert len(trial_spans) == 2
+    # Worker span trees are re-parented under the run span, with their
+    # own children intact below them.
+    assert all(s.parent == run_span.index for s in trial_spans)
+    for trial_span in trial_spans:
+        child_names = [c.name for c in recorder.children(trial_span.index)]
+        assert "trial.lock" in child_names
+    # Counters from both workers sum into the parent recorder.
+    assert recorder.counters.get("oracle.test_clocks", 0) > 0
+    assert recorder.counters.get("sim.codegen_compiles", 0) >= 2
+    assert recorder.gauges["sweep.wall_seconds"] == pytest.approx(
+        result.stats.wall_seconds
+    )
+    # Summed trial spans stay within the run's wall clock.
+    assert sum(s.duration for s in trial_spans) <= (
+        result.stats.wall_seconds * 2 + 1.0
+    )
+
+
 def test_cli_seed_range_parsing():
     from repro.cli import _parse_int_list
 
