@@ -6,11 +6,17 @@ attack": enumerate candidate function assignments over all missing gates and
 test each hypothesis against the configured chip.  Equation 3 counts the
 clocks this needs — ``2^I · P^M · D`` — and this module realises the attack
 so the bound can be validated on small designs.
+
+Hypothesis screening is key-parallel: ``batch_width`` candidate keys share
+one compiled config-lane pass per pattern (:mod:`repro.sim.keybatch`).
+Oracle access — one query per screening/confirm pattern, recorded up front
+— is identical to the serial loop, so the billed cost and the survivor set
+do not depend on the batch width (``batch_width=1`` *is* the serial loop,
+kept as baseline and fallback).
 """
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -18,7 +24,11 @@ from typing import Dict, List, Optional, Sequence
 from ..netlist.gates import CANDIDATE_TYPES, GateType, truth_table
 from ..netlist.netlist import Netlist
 from ..obs import span
-from ..sim.logicsim import CombinationalSimulator
+from ..sim.keybatch import (
+    DEFAULT_BATCH_WIDTH,
+    iter_hypotheses,
+    screen_hypotheses,
+)
 from .oracle import (
     ConfiguredOracle,
     attribute_cost,
@@ -42,6 +52,11 @@ class BruteForceResult:
     #: functionally equivalent (an unobservable/masked missing gate), so
     #: any of them is a working key.
     interchangeable_survivors: bool = False
+    #: True when the confirm loop ran out of rounds with more than one
+    #: *distinguishable* survivor standing (no equivalence proof): the
+    #: attack could not pick a key, but not for lack of hypothesis budget
+    #: — distinct from :attr:`exhausted_budget`.
+    confirm_rounds_exhausted: bool = False
 
     @property
     def success(self) -> bool:
@@ -81,6 +96,8 @@ class BruteForceAttack:
         screen_patterns: int = 24,
         confirm_patterns: int = 24,
         max_hypotheses: int = 2_000_000,
+        batch_width: int = DEFAULT_BATCH_WIDTH,
+        max_confirm_rounds: int = 8,
     ):
         self.netlist = foundry_netlist
         self.oracle = oracle
@@ -88,6 +105,9 @@ class BruteForceAttack:
         self.screen_patterns = screen_patterns
         self.confirm_patterns = confirm_patterns
         self.max_hypotheses = max_hypotheses
+        #: Candidate keys packed per compiled pass (1 = serial loop).
+        self.batch_width = batch_width
+        self.max_confirm_rounds = max_confirm_rounds
 
     def run(self) -> BruteForceResult:
         result = BruteForceResult()
@@ -112,24 +132,27 @@ class BruteForceAttack:
             lut_count=len(luts),
             hypotheses_total=total,
         ) as attack_span:
-            with span("attack.brute.screen") as screen_span:
+            with span(
+                "attack.brute.screen", width=self.batch_width
+            ) as screen_span:
                 screen_cost = snapshot_cost(self.oracle)
                 patterns = self._draw_patterns(self.screen_patterns)
                 responses = self._oracle_responses(patterns)
                 working = self.netlist.copy(f"{self.netlist.name}_bf")
-                comb = CombinationalSimulator(working)
+                points = self.oracle.observation_points()
 
-                survivors: List[Dict[str, int]] = []
-                for assignment in itertools.product(*spaces):
-                    if result.hypotheses_tested >= self.max_hypotheses:
-                        result.exhausted_budget = True
-                        break
-                    result.hypotheses_tested += 1
-                    hypothesis = dict(zip(luts, assignment))
-                    if self._consistent(
-                        working, comb, hypothesis, patterns, responses
-                    ):
-                        survivors.append(hypothesis)
+                outcome = screen_hypotheses(
+                    working,
+                    iter_hypotheses(luts, spaces),
+                    patterns,
+                    responses,
+                    points,
+                    batch_width=self.batch_width,
+                    max_hypotheses=self.max_hypotheses,
+                )
+                survivors = outcome.survivors
+                result.hypotheses_tested = outcome.tested
+                result.exhausted_budget = outcome.exhausted
                 attribute_cost(screen_span, self.oracle, screen_cost)
                 screen_span.set(
                     hypotheses_tested=result.hypotheses_tested,
@@ -138,19 +161,24 @@ class BruteForceAttack:
 
             # Disambiguate survivors with fresh patterns.
             rounds = 0
-            while len(survivors) > 1 and rounds < 8:
+            while len(survivors) > 1 and rounds < self.max_confirm_rounds:
                 rounds += 1
-                with span("attack.brute.confirm", round=rounds) as confirm_span:
+                with span(
+                    "attack.brute.confirm",
+                    round=rounds,
+                    width=self.batch_width,
+                ) as confirm_span:
                     confirm_cost = snapshot_cost(self.oracle)
                     extra = self._draw_patterns(self.confirm_patterns)
                     extra_responses = self._oracle_responses(extra)
-                    survivors = [
-                        h
-                        for h in survivors
-                        if self._consistent(
-                            working, comb, h, extra, extra_responses
-                        )
-                    ]
+                    survivors = screen_hypotheses(
+                        working,
+                        survivors,
+                        extra,
+                        extra_responses,
+                        points,
+                        batch_width=self.batch_width,
+                    ).survivors
                     attribute_cost(confirm_span, self.oracle, confirm_cost)
                     confirm_span.set(survivors=len(survivors))
             result.survivors = survivors
@@ -170,6 +198,12 @@ class BruteForceAttack:
                     # queries and no test clocks.
                     result.found = survivors[0]
                     result.interchangeable_survivors = True
+                else:
+                    # Multiple *distinguishable* survivors after the last
+                    # confirm round: fresh patterns might still separate
+                    # them, so record the honest outcome instead of
+                    # silently reporting plain failure.
+                    result.confirm_rounds_exhausted = True
             result.oracle_queries = self.oracle.queries
             result.test_clocks = self.oracle.test_clocks
             deltas = attribute_cost(attack_span, self.oracle, cost0)
@@ -177,6 +211,7 @@ class BruteForceAttack:
                 success=result.success,
                 hypotheses_tested=result.hypotheses_tested,
                 exhausted_budget=result.exhausted_budget,
+                confirm_rounds_exhausted=result.confirm_rounds_exhausted,
             )
             bump_cost_counters(deltas)
         return result
@@ -218,27 +253,3 @@ class BruteForceAttack:
             state = {ff: pattern.get(ff, 0) for ff in self.netlist.flip_flops}
             responses.append(self.oracle.query(pis, state))
         return responses
-
-    def _consistent(
-        self,
-        working: Netlist,
-        comb: CombinationalSimulator,
-        hypothesis: Dict[str, int],
-        patterns: Sequence[Dict[str, int]],
-        responses: Sequence[Dict[str, int]],
-    ) -> bool:
-        for name, config in hypothesis.items():
-            working.node(name).lut_config = config
-        try:
-            points = self.oracle.observation_points()
-            for pattern, expected in zip(patterns, responses):
-                pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
-                state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
-                values = comb.evaluate(pis, state, 1)
-                for point in points:
-                    if values[point] != expected[point]:
-                        return False
-            return True
-        finally:
-            for name in hypothesis:
-                working.node(name).lut_config = None

@@ -22,6 +22,7 @@ from ..netlist.gates import GateType, truth_table_to_type
 from ..netlist.netlist import Netlist
 from ..obs import span
 from ..sim.justify import justify_and_propagate
+from ..sim.keybatch import evaluate_configs
 from ..sim.logicsim import CombinationalSimulator
 from .oracle import (
     ConfiguredOracle,
@@ -217,10 +218,16 @@ class TestingAttack:
         on the real chip they hold their true (unknown) values, and a wrong
         guess shifts both hypothesis simulations so the observation matches
         the wrong one.  Instead every assignment of the unknown outputs is
-        simulated at once (one lane per assignment), and a bit is deduced
-        only when NO assignment can explain the chip's response under the
-        opposite hypothesis — the measurement is then sound regardless of
-        what the unknown gates actually compute.
+        simulated at once (one config lane per assignment — a constant-0 or
+        constant-1 truth table per unknown LUT, the all-zeros/all-ones
+        config), and a bit is deduced only when NO assignment can explain
+        the chip's response under the opposite hypothesis — the measurement
+        is then sound regardless of what the unknown gates actually compute.
+
+        Both hypotheses for *name* ride in the same key-parallel pass: the
+        low half of the ``2^(k+1)`` lanes programs *name* to constant 0,
+        the high half to constant 1, with the unknown-output assignment
+        enumerated identically in each half.
         """
         others = sorted(
             lut
@@ -232,33 +239,31 @@ class TestingAttack:
             # of the other LUTs resolve.  (Exactly the dependency that
             # defeats this attack under dependent selection.)
             return None
-        lanes = 1 << len(others)
-        mask = (1 << lanes) - 1
-        # One scan pattern, broadcast across all lanes; the lanes differ
-        # only in the unknown-LUT override words below.
-        pis = {pi: mask if pattern.get(pi, 0) else 0 for pi in working.inputs}
-        state = {
-            ff: mask if pattern.get(ff, 0) else 0 for ff in working.flip_flops
+        half = 1 << len(others)
+        mask = (1 << half) - 1
+        full = {
+            lut: (1 << (1 << working.node(lut).n_inputs)) - 1
+            for lut in [name] + others
         }
-        unknown = {}
-        for i, lut in enumerate(others):
-            word = 0
-            for lane in range(lanes):
-                if (lane >> i) & 1:
-                    word |= 1 << lane
-            unknown[lut] = word
-        low = comb.evaluate(pis, state, lanes, overrides={**unknown, name: 0})
-        high = comb.evaluate(pis, state, lanes, overrides={**unknown, name: mask})
-        observed = self.oracle.query(
-            {pi: pattern.get(pi, 0) for pi in working.inputs},
-            {ff: pattern.get(ff, 0) for ff in working.flip_flops},
+        configs = []
+        for lane in range(2 * half):
+            assignment = {name: full[name] if lane >= half else 0}
+            for i, lut in enumerate(others):
+                assignment[lut] = full[lut] if (lane >> i) & 1 else 0
+            configs.append(assignment)
+        pis = {pi: pattern.get(pi, 0) for pi in working.inputs}
+        state = {ff: pattern.get(ff, 0) for ff in working.flip_flops}
+        values = evaluate_configs(
+            working, pis, state=state, configs=configs, backend=comb.backend
         )
+        observed = self.oracle.query(pis, state)
         consistent_low = mask
         consistent_high = mask
         for point in self.oracle.observation_points():
-            observed_word = mask if observed[point] else 0
-            consistent_low &= ~(low[point] ^ observed_word) & mask
-            consistent_high &= ~(high[point] ^ observed_word) & mask
+            word = values[point]
+            observed_word = -(observed[point] & 1) & mask
+            consistent_low &= ~((word & mask) ^ observed_word) & mask
+            consistent_high &= ~(((word >> half) & mask) ^ observed_word) & mask
         if consistent_low and not consistent_high:
             return 0
         if consistent_high and not consistent_low:

@@ -141,6 +141,25 @@ def _inject_broken_simplify() -> Callable[[], None]:
     return undo
 
 
+def _inject_keybatch_lane_corruption() -> Callable[[], None]:
+    """Batched screening corrupts lane 0 of every survivor mask (an
+    off-by-one in the lane→hypothesis mapping): the serial path is
+    untouched, so the keybatch parity checks must diverge."""
+    from ..sim import keybatch
+
+    original = keybatch.surviving_lanes
+
+    def corrupted(alive: int, lanes: int):
+        return original(alive ^ 1, lanes)
+
+    keybatch.surviving_lanes = corrupted
+
+    def undo() -> None:
+        keybatch.surviving_lanes = original
+
+    return undo
+
+
 FAULTS: List[Fault] = [
     Fault(
         name="stale-compiled-kernel",
@@ -171,6 +190,12 @@ FAULTS: List[Fault] = [
         family="metamorphic",
         description="simplify.sweep flips one gate function",
         inject=_inject_broken_simplify,
+    ),
+    Fault(
+        name="keybatch-lane-corruption",
+        family="keybatch",
+        description="batched screening corrupts lane 0 of every survivor mask",
+        inject=_inject_keybatch_lane_corruption,
     ),
 ]
 

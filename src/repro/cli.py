@@ -41,6 +41,7 @@ from .locking import (
 from .lut import HybridMapper, bitstream
 from .netlist import bench_io
 from .obs import Recorder, span, to_chrome_trace, use_recorder
+from .sim.keybatch import DEFAULT_BATCH_WIDTH
 from .reporting import format_scientific, format_table
 
 
@@ -156,6 +157,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
     oracle = ConfiguredOracle(provisioned, scan=not args.no_scan)
     if args.attack == "testing":
         attack = TestingAttack(foundry, oracle, seed=args.seed)
+        # (the testing attack's deduction lanes batch inherently; the
+        # --batch-width knob applies to the hypothesis-sweeping attacks)
         result = attack.run()
         print(
             f"testing attack: {len(result.resolved)} resolved, "
@@ -164,7 +167,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
         )
         return 0 if result.success else 1
     if args.attack == "brute":
-        attack = BruteForceAttack(foundry, oracle, seed=args.seed)
+        attack = BruteForceAttack(
+            foundry, oracle, seed=args.seed, batch_width=args.batch_width
+        )
         result = attack.run()
         print(
             f"brute force: tested {result.hypotheses_tested} of "
@@ -183,7 +188,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
         )
         return 0 if result.success else 1
     if args.attack == "ml":
-        attack = MlAttack(foundry, oracle, seed=args.seed)
+        attack = MlAttack(
+            foundry, oracle, seed=args.seed, batch_width=args.batch_width
+        )
         result = attack.run()
         print(
             f"ml attack: {result.iterations} iterations over "
@@ -580,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_attack.add_argument("--seed", type=int, default=0)
     p_attack.add_argument("--no-scan", action="store_true")
+    p_attack.add_argument(
+        "--batch-width",
+        type=int,
+        default=DEFAULT_BATCH_WIDTH,
+        help="candidate LUT configurations packed per compiled pass for "
+        "the brute/ml attacks (1 = serial per-key loop)",
+    )
     p_attack.set_defaults(func=cmd_attack)
 
     p_program = sub.add_parser("program", parents=[common], help="provision a foundry netlist")

@@ -10,7 +10,23 @@ from .logicsim import (
     random_words,
     unpack,
 )
-from .compiled import CompiledProgram, compiled_source, get_program
+from .compiled import (
+    CompiledProgram,
+    PackedConfigs,
+    compiled_source,
+    get_program,
+    program_for_configs,
+)
+from .keybatch import (
+    DEFAULT_BATCH_WIDTH,
+    Hypothesis,
+    ScreenOutcome,
+    evaluate_configs,
+    iter_hypotheses,
+    score_keys,
+    screen_hypotheses,
+    surviving_lanes,
+)
 from .seqsim import SequentialSimulator, ToggleStats, functional_match
 from .faults import (
     CoverageReport,
@@ -34,8 +50,18 @@ __all__ = [
     "DEFAULT_BACKEND",
     "CombinationalSimulator",
     "CompiledProgram",
+    "DEFAULT_BATCH_WIDTH",
+    "Hypothesis",
+    "PackedConfigs",
+    "ScreenOutcome",
     "compiled_source",
+    "evaluate_configs",
     "get_program",
+    "iter_hypotheses",
+    "program_for_configs",
+    "score_keys",
+    "screen_hypotheses",
+    "surviving_lanes",
     "exhaustive_input_words",
     "pack",
     "random_words",

@@ -37,17 +37,29 @@ Overrides (fault injection / hypothesis pinning) are served by a second,
 lazily compiled variant whose per-gate assignment consults the override
 dict first — still far cheaper than the interpreter, and only built for
 netlists that actually get fault-simulated.
+
+A third lazily compiled variant serves the **config-lane axis** (the dual
+of pattern packing): instead of one bit per input pattern, a word carries
+one bit per *candidate LUT configuration*, so a single kernel call scores
+a whole batch of keys against one fixed pattern.  Each dynamic LUT reads a
+list of per-truth-table-row words (bit *l* of row word *r* = bit *r* of
+lane *l*'s configuration) and selects rows with plain AND/OR — see
+:meth:`CompiledProgram.evaluate_configs` and :mod:`repro.sim.keybatch`
+for the batched hypothesis-screening built on top.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..netlist.gates import GateType, truth_table_to_type
 from ..netlist.graph import combinational_order
 from ..netlist.netlist import Netlist, NetlistError, Node
 from ..obs import add_counter, span
+
+#: Valid kernel variants emitted by :meth:`CompiledProgram._generate`.
+_VARIANTS = ("plain", "override", "configs")
 
 #: Dynamic (runtime-config) LUTs up to this fan-in are unrolled inline as a
 #: branch-free select over minterm masks; wider ones call the shared
@@ -178,6 +190,70 @@ def _dynamic_lut_lines(
     return lines
 
 
+def _eval_lut_rows_word(
+    row_words: List[int], fanin_words: Tuple[int, ...], mask: int
+) -> int:
+    """Evaluate a LUT whose configuration differs *per lane*.
+
+    ``row_words[r]`` has bit *l* set when lane *l*'s configuration sets
+    truth-table row *r*.  The fan-in words are lane-broadcast pattern
+    bits, so ``row_word & minterm`` keeps exactly the lanes that both
+    select row *r* and program it to 1.  Zero row words (rows no lane
+    sets) are skipped, mirroring the sparse loop of ``_eval_lut_word``.
+    """
+    complements = [word ^ mask for word in fanin_words]
+    out = 0
+    for row, selected in enumerate(row_words):
+        if not selected:
+            continue
+        hit = selected
+        for pin, word in enumerate(fanin_words):
+            hit &= word if (row >> pin) & 1 else complements[pin]
+            if not hit:
+                break
+        out |= hit
+    return out & mask
+
+
+def _config_lane_lut_lines(
+    target: str, rows_var: str, pin_vars: List[str]
+) -> List[str]:
+    """Assignment lines for a LUT in the config-lane kernel.
+
+    The per-row config words are packed ahead of the call
+    (:meth:`CompiledProgram.pack_configs`), so — unlike the dynamic
+    scalar-config path — no per-row bit extraction happens inside the
+    kernel: each row costs one AND with its minterm mask.
+    """
+    n = len(pin_vars)
+    if n <= _DYNAMIC_UNROLL_MAX_INPUTS:
+        terms = [
+            f"({rows_var}[{row}] & ({_minterm_expr(row, pin_vars)}))"
+            for row in range(1 << n)
+        ]
+        return [f"{target} = {' | '.join(terms)}"]
+    operands = ", ".join(pin_vars)
+    return [f"{target} = _lutrows({rows_var}, ({operands},), _m)"]
+
+
+class PackedConfigs:
+    """A batch of candidate LUT configurations packed into word lanes.
+
+    Built by :meth:`CompiledProgram.pack_configs`; ``rows_by_index[i]``
+    holds, for the *i*-th dynamic LUT, one word per truth-table row whose
+    bit *l* is bit *r* of lane *l*'s configuration.
+    """
+
+    __slots__ = ("lanes", "mask", "rows_by_index")
+
+    def __init__(
+        self, lanes: int, mask: int, rows_by_index: List[List[int]]
+    ):
+        self.lanes = lanes
+        self.mask = mask
+        self.rows_by_index = rows_by_index
+
+
 class CompiledProgram:
     """One netlist's generated evaluation kernel(s) plus validity metadata."""
 
@@ -211,22 +287,32 @@ class CompiledProgram:
             gates=len(self._order),
             dynamic_luts=len(self.dynamic_nodes),
             force_dynamic=force_dynamic,
+            kernel="plain",
         ):
-            self.source = self._generate(with_overrides=False)
+            self.source = self._generate("plain")
             self._fast = self._compile(self.source, "_run", netlist.name)
         add_counter("sim.codegen_compiles")
         self.override_source: Optional[str] = None
         self._ov_fn = None
+        self.config_source: Optional[str] = None
+        self._cfg_fn = None
         self._netlist_name = netlist.name
 
     # ------------------------------------------------------------------
     # codegen
     # ------------------------------------------------------------------
-    def _generate(self, with_overrides: bool) -> str:
+    def _generate(self, variant: str) -> str:
+        """Emit one kernel variant: ``plain`` (scalar dynamic configs),
+        ``override`` (net pinning), or ``configs`` (per-lane config words)."""
+        if variant not in _VARIANTS:
+            raise ValueError(f"unknown kernel variant {variant!r}")
+        with_overrides = variant == "override"
         lines: List[str] = []
         add = lines.append
-        args = "_in, _st, _m, _cfg" + (", _ov" if with_overrides else "")
-        add(f"def {'_run_ov' if with_overrides else '_run'}({args}):")
+        entry = {"plain": "_run", "override": "_run_ov", "configs": "_run_cfg"}
+        cfg_arg = "_cfgw" if variant == "configs" else "_cfg"
+        args = f"_in, _st, _m, {cfg_arg}" + (", _ov" if with_overrides else "")
+        add(f"def {entry[variant]}({args}):")
         if self._pis:
             add("    try:")
             for pi in self._pis:
@@ -244,7 +330,7 @@ class CompiledProgram:
                 add("    if _t is not None:")
                 add(f"        {self._var[name]} = _t & _m")
         for name in self._order:
-            gate_lines = self._gate_lines(name)
+            gate_lines = self._gate_lines(name, variant)
             if with_overrides:
                 add(f"    _t = _ov.get({name!r})")
                 add("    if _t is not None:")
@@ -261,7 +347,7 @@ class CompiledProgram:
         add(f"    return {{{items}}}")
         return "\n".join(lines) + "\n"
 
-    def _gate_lines(self, name: str) -> List[str]:
+    def _gate_lines(self, name: str, variant: str = "plain") -> List[str]:
         node = self._nodes[name]
         target = self._var[name]
         pin_vars = [self._var[src] for src in node.fanin]
@@ -270,6 +356,8 @@ class CompiledProgram:
             if idx is None:
                 assert node.lut_config is not None
                 return [f"{target} = {_folded_lut_expr(node.lut_config, pin_vars)}"]
+            if variant == "configs":
+                return _config_lane_lut_lines(target, f"_cfgw[{idx}]", pin_vars)
             return _dynamic_lut_lines(target, f"_cfg[{idx}]", name, pin_vars)
         return [f"{target} = {_primitive_expr(node.gate_type, pin_vars)}"]
 
@@ -280,6 +368,7 @@ class CompiledProgram:
         namespace: Dict[str, object] = {
             "_err": NetlistError,
             "_lut": _eval_lut_word,
+            "_lutrows": _eval_lut_rows_word,
         }
         code = compile(source, f"<compiled-sim:{netlist_name}>", "exec")
         exec(code, namespace)
@@ -313,14 +402,150 @@ class CompiledProgram:
                     circuit=self._netlist_name,
                     gates=len(self._order),
                     override_kernel=True,
+                    kernel="override",
+                    width=width,
                 ):
-                    self.override_source = self._generate(with_overrides=True)
+                    self.override_source = self._generate("override")
                     self._ov_fn = self._compile(
                         self.override_source, "_run_ov", self._netlist_name
                     )
                 add_counter("sim.codegen_compiles")
             return self._ov_fn(inputs, state or _EMPTY, mask, cfg, overrides)
         return self._fast(inputs, state or _EMPTY, mask, cfg)
+
+    # ------------------------------------------------------------------
+    # config-lane execution (key-parallel batching)
+    # ------------------------------------------------------------------
+    def pack_configs(
+        self, configs: Sequence[Mapping[str, int]]
+    ) -> PackedConfigs:
+        """Pack one candidate-configuration assignment per word lane.
+
+        Each element of *configs* maps dynamic-LUT names to a candidate
+        truth table; LUTs an assignment leaves out keep their current
+        ``lut_config`` (which must then be programmed).  Assignments may
+        only name LUTs this program treats as dynamic — sweep a folded
+        LUT through :func:`evaluate_configs`, which demotes first.
+        """
+        lanes = len(configs)
+        if lanes == 0:
+            raise NetlistError(
+                "config-lane evaluation needs at least one configuration lane"
+            )
+        mask = (1 << lanes) - 1
+        swept: Set[str] = set()
+        for assignment in configs:
+            swept.update(assignment)
+        unknown: Set[str] = swept.difference(self._dynamic_index)
+        if unknown:
+            raise NetlistError(
+                f"configuration lanes sweep non-dynamic nodes "
+                f"{sorted(unknown)!r}; use repro.sim.compiled."
+                f"evaluate_configs to demote folded LUTs first"
+            )
+        rows_by_index: List[List[int]] = []
+        for node in self.dynamic_nodes:
+            n_rows = 1 << node.n_inputs
+            full = (1 << n_rows) - 1
+            base = node.lut_config
+            if node.name not in swept:
+                # No lane overrides this LUT: broadcast its current config.
+                if base is None:
+                    raise NetlistError(
+                        f"cannot simulate unprogrammed LUT {node.name!r}"
+                    )
+                base &= full
+                rows_by_index.append(
+                    [-((base >> row) & 1) & mask for row in range(n_rows)]
+                )
+                continue
+            words = [0] * n_rows
+            for lane, assignment in enumerate(configs):
+                config = assignment.get(node.name, base)
+                if config is None:
+                    raise NetlistError(
+                        f"cannot simulate unprogrammed LUT {node.name!r}"
+                    )
+                config &= full
+                bit = 1 << lane
+                while config:
+                    low = config & -config
+                    words[low.bit_length() - 1] |= bit
+                    config ^= low
+            rows_by_index.append(words)
+        return PackedConfigs(lanes, mask, rows_by_index)
+
+    def evaluate_packed(
+        self,
+        inputs: Mapping[str, int],
+        packed: PackedConfigs,
+        state: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate one scalar pattern across all config lanes of *packed*.
+
+        Bit 0 of each input/state value is broadcast to every lane; the
+        returned words carry one bit per lane (lane *l* = the circuit as
+        programmed by ``configs[l]``).
+        """
+        if self._cfg_fn is None:
+            with span(
+                "sim.codegen",
+                circuit=self._netlist_name,
+                gates=len(self._order),
+                kernel="configs",
+                lanes=packed.lanes,
+            ):
+                self.config_source = self._generate("configs")
+                self._cfg_fn = self._compile(
+                    self.config_source, "_run_cfg", self._netlist_name
+                )
+            add_counter("sim.codegen_compiles")
+        mask = packed.mask
+        in_words = {pi: -(value & 1) & mask for pi, value in inputs.items()}
+        state_words = (
+            {ff: -(value & 1) & mask for ff, value in state.items()}
+            if state
+            else _EMPTY
+        )
+        add_counter("sim.compiled_config_evaluations")
+        return self._cfg_fn(in_words, state_words, mask, packed.rows_by_index)
+
+    def evaluate_configs(
+        self,
+        inputs: Mapping[str, int],
+        configs: Sequence[Mapping[str, int]],
+        state: Optional[Mapping[str, int]] = None,
+        width: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Key-parallel evaluation: one word lane per candidate config.
+
+        Args:
+            inputs: primary-input net -> scalar bit (bit 0 is used).
+            configs: one mapping of LUT name -> candidate truth table per
+                lane; lane *k* of every returned word is the value under
+                ``configs[k]``.
+            state: DFF output net -> scalar bit (defaults to all zero).
+            width: lanes packed per kernel pass; batches of *width* are
+                evaluated and stitched back together, so results are
+                independent of the chosen width.  ``None`` packs all
+                lanes into a single pass.
+        """
+        configs = list(configs)
+        lanes = len(configs)
+        if width is None or width <= 0 or width >= lanes:
+            return self.evaluate_packed(
+                inputs, self.pack_configs(configs), state
+            )
+        out: Dict[str, int] = {}
+        for start in range(0, lanes, width):
+            packed = self.pack_configs(configs[start : start + width])
+            part = self.evaluate_packed(inputs, packed, state)
+            if start == 0:
+                out = part
+            else:
+                for net, word in part.items():
+                    out[net] |= word << start
+        return out
 
 
 _PROGRAMS: "weakref.WeakKeyDictionary[Netlist, CompiledProgram]" = (
@@ -349,6 +574,56 @@ def get_program(netlist: Netlist) -> CompiledProgram:
         program = CompiledProgram(netlist)
     _PROGRAMS[netlist] = program
     return program
+
+
+def program_for_configs(
+    netlist: Netlist, swept: Set[str]
+) -> CompiledProgram:
+    """The cached program for *netlist*, with every LUT in *swept* dynamic.
+
+    A swept LUT that was programmed (and therefore folded) at codegen time
+    gets the same treatment as a rewritten folded config: the program is
+    rebuilt once with every LUT demoted to dynamic and cached, after which
+    config sweeps are recompile-free.
+    """
+    program = get_program(netlist)
+    demote = False
+    for name in swept:
+        if name in program._dynamic_index:
+            continue
+        node = netlist.node(name)
+        if node.gate_type is not GateType.LUT:
+            raise NetlistError(
+                f"config lanes can only sweep LUT nodes; {name!r} is "
+                f"{node.gate_type.value}"
+            )
+        demote = True
+    if demote:
+        program = CompiledProgram(netlist, force_dynamic=True)
+        _PROGRAMS[netlist] = program
+    return program
+
+
+def evaluate_configs(
+    netlist: Netlist,
+    inputs: Mapping[str, int],
+    configs: Sequence[Mapping[str, int]],
+    state: Optional[Mapping[str, int]] = None,
+    width: Optional[int] = None,
+) -> Dict[str, int]:
+    """Key-parallel evaluation of *netlist*: one word lane per candidate
+    LUT-configuration assignment (see
+    :meth:`CompiledProgram.evaluate_configs`).
+
+    Unlike the method, this entry point accepts sweeps over *programmed*
+    (folded) LUTs — the cached program is demoted to all-dynamic first.
+    """
+    configs = list(configs)
+    swept: Set[str] = set()
+    for assignment in configs:
+        swept.update(assignment)
+    program = program_for_configs(netlist, swept)
+    return program.evaluate_configs(inputs, configs, state, width)
 
 
 def compiled_source(netlist: Netlist) -> str:

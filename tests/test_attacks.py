@@ -183,6 +183,51 @@ class TestBruteForce:
         result = BruteForceAttack(s27.copy(), oracle).run()
         assert result.success and result.found == {}
 
+    def test_confirm_rounds_exhausted_is_surfaced(self, s27):
+        """Regression: the confirm loop used to give up silently after its
+        round cap with >1 distinguishable survivor and no equivalence
+        proof — indistinguishable from a plain failure.  With zero
+        screen/confirm patterns every candidate survives every round, the
+        survivors are NOT functionally equivalent, and the result must say
+        exactly that: rounds exhausted, budget NOT exhausted."""
+        hybrid, foundry, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = BruteForceAttack(
+            foundry, oracle, seed=2, screen_patterns=0, confirm_patterns=0
+        ).run()
+        assert not result.success
+        assert result.confirm_rounds_exhausted
+        assert not result.exhausted_budget
+        assert not result.interchangeable_survivors
+        assert len(result.survivors) == len(candidate_configs(2))
+
+    def test_confirm_rounds_flag_stays_clear_on_success(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = BruteForceAttack(foundry, oracle, seed=2).run()
+        assert result.success
+        assert not result.confirm_rounds_exhausted
+
+    def test_serial_and_batched_paths_are_bit_identical(self, s27):
+        """batch_width=1 (the old per-key loop) and the key-parallel path
+        must agree on every reported field and on the oracle bill."""
+        hybrid, foundry, record = lock(s27, ["G8", "G13"])
+        results = {}
+        for width in (1, 64):
+            oracle = ConfiguredOracle(hybrid, scan=True)
+            attack = BruteForceAttack(
+                foundry.copy(f"f{width}"), oracle, seed=2, batch_width=width
+            )
+            results[width] = attack.run()
+        serial, batched = results[1], results[64]
+        assert serial.found == batched.found == record.configs
+        assert serial.survivors == batched.survivors
+        assert serial.hypotheses_tested == batched.hypotheses_tested
+        assert (serial.oracle_queries, serial.test_clocks) == (
+            batched.oracle_queries,
+            batched.test_clocks,
+        )
+
     def test_masked_gate_yields_interchangeable_success(self):
         """Regression for a bug found by the differential check harness:
         a locked gate whose output is masked (here ANDed with a constant

@@ -44,6 +44,8 @@ class TestRegistry:
             "attack-oracle-equivalence",
             "metamorphic-roundtrip",
             "lock-unlock-roundtrip",
+            "keybatch-lane-parity",
+            "keybatch-brute-parity",
         } <= set(names)
         assert set(families()) == {
             "sim",
@@ -51,6 +53,7 @@ class TestRegistry:
             "sweep",
             "attack",
             "metamorphic",
+            "keybatch",
         }
 
     def test_resolve_by_name_and_family(self):

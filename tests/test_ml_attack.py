@@ -74,6 +74,36 @@ class TestMlAttack:
         # the key space is squared.
         assert wide_hits <= narrow_hits + 0.15
 
+    def test_parallel_chains_break_tiny_key(self, s27):
+        """batch_width=W anneals W chains side by side through one
+        ``score_keys`` pass per step; the attack must still recover a
+        functionally correct key and bill its queries."""
+        hybrid, foundry, _ = lock(s27, ["G8", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = MlAttack(foundry, oracle, seed=1, batch_width=16).run()
+        assert result.success
+        recovered = foundry.copy("recovered")
+        for name, config in result.key.items():
+            recovered.node(name).lut_config = config
+        assert functional_match(hybrid, recovered, cycles=16, width=32)
+        assert result.oracle_queries > 0
+
+    def test_serial_path_is_default_and_unchanged(self, s27):
+        """batch_width=1 (the default) must keep the exact legacy RNG
+        trajectory: two runs with the same seed are identical, and an
+        explicit batch_width=1 matches the default."""
+        hybrid, foundry, _ = lock(s27, ["G8"])
+
+        def run(**kwargs):
+            oracle = ConfiguredOracle(hybrid, scan=True)
+            return MlAttack(foundry, oracle, seed=5, **kwargs).run()
+
+        default = run()
+        explicit = run(batch_width=1)
+        assert default.key == explicit.key
+        assert default.iterations == explicit.iterations
+        assert default.best_agreement == explicit.best_agreement
+
     def test_holdout_rejects_overfit_key(self, s27):
         """A key that only matches the training set must not be reported as
         exact (the holdout check)."""
