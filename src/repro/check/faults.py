@@ -160,6 +160,40 @@ def _inject_keybatch_lane_corruption() -> Callable[[], None]:
     return undo
 
 
+def _inject_dataflow_verdict_corruption() -> Callable[[], None]:
+    """The key-leakage analyzer starts lying about its strong claims:
+    every witness predicts the *inverted* responses and every witnessed
+    bit is additionally claimed don't-care.  Recovery replays decode the
+    wrong bit and SAT refutes the redundancy claims — both verification
+    paths must fire."""
+    from ..dataflow import engine
+
+    original = engine.KeyLeakAnalyzer.analyze
+
+    def corrupted_analyze(self, netlist):
+        report = original(self, netlist)
+        for audit in report.luts:
+            for bit in audit.bits:
+                if bit.witness is None:
+                    continue
+                bit.witness = engine.Witness(
+                    pattern=bit.witness.pattern,
+                    observe=bit.witness.observe,
+                    value_if_zero=bit.witness.value_if_one,
+                    value_if_one=bit.witness.value_if_zero,
+                    queries=bit.witness.queries,
+                )
+                bit.dont_care = True
+        return report
+
+    engine.KeyLeakAnalyzer.analyze = corrupted_analyze  # type: ignore[method-assign]
+
+    def undo() -> None:
+        engine.KeyLeakAnalyzer.analyze = original  # type: ignore[method-assign]
+
+    return undo
+
+
 FAULTS: List[Fault] = [
     Fault(
         name="stale-compiled-kernel",
@@ -190,6 +224,13 @@ FAULTS: List[Fault] = [
         family="metamorphic",
         description="simplify.sweep flips one gate function",
         inject=_inject_broken_simplify,
+    ),
+    Fault(
+        name="dataflow-verdict-corruption",
+        family="dataflow",
+        description="the key-leakage analyzer inverts every witness "
+        "prediction and over-claims don't-cares",
+        inject=_inject_dataflow_verdict_corruption,
     ),
     Fault(
         name="keybatch-lane-corruption",

@@ -30,7 +30,7 @@ from .attacks import (
     TestingAttack,
 )
 from .circuits import PAPER_BENCHMARK_ORDER, load_benchmark
-from .lint import Category, LintConfig, Linter, Suppressions, all_rules
+from .lint import Category, LintConfig, Linter, Severity, Suppressions, all_rules
 from .locking import (
     ALGORITHMS,
     SecurityAnalyzer,
@@ -290,7 +290,65 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote {args.out} ({report.summary()})")
     else:
         print(rendered)
-    return 1 if report.has_errors else 0
+    threshold = Severity(args.fail_on)
+    return 1 if report.fails_at(threshold) else 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Static key-leakage audit (repro.dataflow) with verified verdicts."""
+    import json as _json
+
+    from .dataflow import AuditConfig, KeyLeakAnalyzer, verify_report
+
+    netlist = _load(args.circuit)
+    if args.algorithm:
+        try:
+            algorithm_cls = ALGORITHMS[args.algorithm]
+        except KeyError:
+            raise SystemExit(
+                f"error: unknown algorithm {args.algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        result = algorithm_cls(seed=args.seed).run(netlist)
+        target = result.hybrid
+    else:
+        target = netlist
+        if not target.luts:
+            raise SystemExit(
+                "error: nothing to audit — the netlist has no LUTs; "
+                "pass --algorithm to lock it first"
+            )
+    analyzer = KeyLeakAnalyzer(AuditConfig(max_support=args.max_support))
+    report = analyzer.analyze(target)
+    verification = None
+    if not args.no_verify:
+        # Replays every provably-inferable claim against the provisioned
+        # ground truth and SAT-proves every don't-care claim.  On a pure
+        # foundry view (no configurations) the claims are unverifiable,
+        # which the default --fail-on refuses to wave through.
+        verification = verify_report(report, target)
+    if args.format == "json":
+        rendered = _json.dumps(report.to_json_dict(), indent=2)
+    elif args.format == "sarif":
+        rendered = _json.dumps(report.to_sarif_dict(), indent=2)
+    else:
+        rendered = report.render_text()
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out} ({report.summary()})")
+    else:
+        print(rendered)
+    if args.fail_on == "never":
+        return 0
+    refuted = verification is not None and not verification.ok
+    unverified = report.n_inferable > 0 and verification is None
+    if refuted or unverified:
+        return 1
+    if args.fail_on == "inferable" and report.n_inferable:
+        return 1
+    if args.fail_on == "weak" and (report.n_inferable or report.n_weak):
+        return 1
+    return 0
 
 
 def _parse_int_list(text: str) -> List[int]:
@@ -722,9 +780,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--min-key-bits", type=int, default=8)
     p_lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning", "note"],
+        help="exit non-zero when any finding is at least this severe "
+        "(default: error)",
+    )
+    p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_audit = sub.add_parser(
+        "audit",
+        parents=[common],
+        help="static key-leakage audit of a locked netlist (verdicts + "
+        "SAT-verified witnesses)",
+    )
+    p_audit.add_argument("circuit", help=".bench file or benchmark name")
+    p_audit.add_argument(
+        "--algorithm",
+        default=None,
+        choices=sorted(ALGORITHMS),
+        help="lock the circuit with this algorithm before auditing",
+    )
+    p_audit.add_argument("--seed", type=int, default=0)
+    p_audit.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    p_audit.add_argument("--out", default=None, help="write output to a file")
+    p_audit.add_argument(
+        "--max-support",
+        type=int,
+        default=12,
+        help="largest cone support analysed exhaustively (2**N patterns "
+        "per forced run; larger cones are sampled)",
+    )
+    p_audit.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip ground-truth verification of the strong verdicts",
+    )
+    p_audit.add_argument(
+        "--fail-on",
+        default="unverified",
+        choices=["unverified", "inferable", "weak", "never"],
+        help="exit non-zero condition; 'unverified' (default) fails on "
+        "any refuted or unverifiable strong claim",
+    )
+    p_audit.set_defaults(func=cmd_audit)
 
     p_check = sub.add_parser(
         "check",

@@ -1,0 +1,160 @@
+"""Key-dependency cones: what a withheld LUT can influence, and through what.
+
+For a locked gate the attacker's leverage is bounded by its *cone*: the
+observation points (primary outputs and flip-flop D pins) its output can
+combinationally reach, together with the full combinational fan-in of
+those points.  The cone is extracted as a standalone netlist whose
+inputs are the original design's primary inputs and flip-flop outputs —
+exactly the nets an attacker drives in scan mode — so exhaustive or
+sampled analysis of the cone is faithful to the real attack surface.
+
+Cones carry a *structural signature* — a canonical hash of the cone's
+shape, interface ordering, and the audited LUT's position — so the
+engine can recognise isomorphic cones (locks are full of them: the same
+replaced cell shape recurs) and reuse verdicts instead of re-analysing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..netlist.graph import topological_order
+from ..netlist.netlist import Netlist
+from ..netlist.transform import extract_cone, immediate_neighbours
+
+
+@dataclass
+class KeyCone:
+    """One locked gate's dependency cone, ready for abstract interpretation."""
+
+    lut: str
+    #: Standalone cone netlist (PIs/FF outputs as inputs, observation
+    #: points as outputs); ``None`` when the LUT reaches no observation
+    #: point at all.
+    cone: "Netlist | None"
+    observation_points: List[str] = field(default_factory=list)
+    #: Cone inputs, i.e. the attacker-controlled support of the cone.
+    support: List[str] = field(default_factory=list)
+    #: Other *unprogrammed* LUTs inside the cone — the unknowns the
+    #: audited key bit may be entangled with.
+    unknown_luts: List[str] = field(default_factory=list)
+    signature: str = ""
+
+
+def observation_points_of(netlist: Netlist, lut: str) -> List[str]:
+    """POs and DFF D-pin nets in the combinational fanout of *lut*.
+
+    Matches the observation-point convention of
+    :mod:`repro.sat.equivalence`: sequential boundaries are not crossed,
+    so a net feeding a flip-flop is itself a point of observation.
+    Order follows the netlist's node order (deterministic).
+    """
+    reach: Set[str] = {lut}
+    stack = [lut]
+    while stack:
+        for dst in netlist.fanout(stack.pop()):
+            if netlist.node(dst).is_sequential:
+                continue  # the D-pin *net* is the observation point
+            if dst not in reach:
+                reach.add(dst)
+                stack.append(dst)
+    output_set = set(netlist.outputs)
+    points = []
+    for name in netlist.node_names():
+        if name not in reach:
+            continue
+        if name in output_set or any(
+            netlist.node(dst).is_sequential for dst in netlist.fanout(name)
+        ):
+            points.append(name)
+    return points
+
+
+def extract_key_cone(netlist: Netlist, lut: str) -> KeyCone:
+    """Extract the key-dependency cone of *lut* from (a view of) *netlist*."""
+    points = observation_points_of(netlist, lut)
+    if not points:
+        return KeyCone(lut=lut, cone=None)
+    cone = extract_cone(netlist, points, name=f"{netlist.name}:{lut}")
+    unknown = [
+        name
+        for name in cone.luts
+        if name != lut and cone.node(name).lut_config is None
+    ]
+    return KeyCone(
+        lut=lut,
+        cone=cone,
+        observation_points=points,
+        support=list(cone.inputs),
+        unknown_luts=unknown,
+        signature=cone_signature(cone, lut),
+    )
+
+
+def cone_signature(cone: Netlist, lut: str) -> str:
+    """Canonical structural hash of a cone, name-free.
+
+    Nodes are enumerated in topological order and referenced by position;
+    the record covers every node's type, fan-in positions, and whether a
+    LUT configuration is present (never its value — the signature of a
+    foundry view must not depend on the withheld key), plus the interface
+    orderings and the audited LUT's position.  Equal signatures therefore
+    mean the cones are isomorphic *including* input/output order, so an
+    analysis result transfers positionally from one to the other.
+    """
+    order = topological_order(cone)
+    position: Dict[str, int] = {name: i for i, name in enumerate(order)}
+    nodes: List[Tuple] = []
+    for name in order:
+        node = cone.node(name)
+        nodes.append(
+            (
+                node.gate_type.value,
+                [position[src] for src in node.fanin],
+                node.lut_config is not None,
+            )
+        )
+    payload = {
+        "nodes": nodes,
+        "inputs": [position[name] for name in cone.inputs],
+        "outputs": [position[name] for name in cone.outputs],
+        "lut": position[lut],
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def closure_gaps(
+    netlist: Netlist,
+    usl_gates: List[str],
+    justified: List[str],
+) -> List[Tuple[str, str]]:
+    """USL-closure gaps: ``(usl_gate, neighbour)`` pairs violating Alg. 2.
+
+    Every ≥2-input combinational gate that drives or is driven by an
+    unselected path gate must either be replaced with a LUT, be in the
+    USL itself, or carry a recorded timing justification.  This is the
+    dependency-closure walk behind lint rule SEC204 (previously
+    hand-rolled inside the rule).
+    """
+    usl = set(usl_gates)
+    skips = set(justified)
+    gaps: List[Tuple[str, str]] = []
+    for gate in sorted(usl):
+        if gate not in netlist:
+            continue  # swept after locking (e.g. scan removal)
+        if netlist.node(gate).is_lut:
+            continue  # selected via another path after joining the USL
+        for neighbour in immediate_neighbours(netlist, gate):
+            node = netlist.node(neighbour)
+            if node.is_lut or neighbour in usl or neighbour in skips:
+                continue
+            # The algorithm only considers >=2-input gates; BUF/NOT and
+            # constants have no secret truth table to protect.
+            if node.n_inputs < 2:
+                continue
+            gaps.append((gate, neighbour))
+    return gaps

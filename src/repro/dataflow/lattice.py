@@ -1,0 +1,209 @@
+"""Dual-rail ternary words: the value lattice of the dataflow engine.
+
+A ternary value is 0, 1, or X (unknown — a key input, an unprogrammed LUT
+output, or anything derived from one).  To propagate *many* patterns per
+pass, each net carries a :class:`TernaryWord` — a pair of packed integers
+``(can0, can1)`` over ``width`` patterns where bit *i* of ``can0`` means
+"this net can evaluate to 0 at pattern *i* under some assignment of the
+unknowns" and bit *i* of ``can1`` the same for 1:
+
+=========  ======  ======
+value      can0_i  can1_i
+=========  ======  ======
+concrete 0   1       0
+concrete 1   0       1
+X            1       1
+=========  ======  ======
+
+Both rails clear is unreachable (never produced by the transfer
+functions).  The per-gate transfer functions below are Kleene-strongest:
+the output rail is set exactly when some assignment of the X inputs
+produces that output value *treating the gate's inputs as independent*.
+Independence makes the result an over-approximation of the true value
+set (correlated unknowns may rule combinations out), which is the right
+direction for every claim the engine makes — see ``docs/DATAFLOW.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import NetlistError
+
+
+class TernaryWord(NamedTuple):
+    """``width`` ternary values packed into a dual-rail pair of words."""
+
+    can0: int
+    can1: int
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_word(cls, word: int, mask: int) -> "TernaryWord":
+        """Concrete packed word → dual rails (no X anywhere)."""
+        return cls(~word & mask, word & mask)
+
+    @classmethod
+    def const(cls, value: int, mask: int) -> "TernaryWord":
+        """The same concrete bit at every pattern."""
+        return cls(0, mask) if value else cls(mask, 0)
+
+    @classmethod
+    def unknown(cls, mask: int) -> "TernaryWord":
+        """X at every pattern."""
+        return cls(mask, mask)
+
+    # -- predicates -----------------------------------------------------
+    def concrete0(self) -> int:
+        """Patterns where the value is provably 0."""
+        return self.can0 & ~self.can1
+
+    def concrete1(self) -> int:
+        """Patterns where the value is provably 1."""
+        return self.can1 & ~self.can0
+
+    def unknown_mask(self) -> int:
+        """Patterns where the value is X."""
+        return self.can0 & self.can1
+
+    def is_concrete(self, mask: int) -> bool:
+        return not (self.can0 & self.can1 & mask)
+
+    def join(self, other: "TernaryWord") -> "TernaryWord":
+        """Lattice join (least upper bound) per pattern."""
+        return TernaryWord(self.can0 | other.can0, self.can1 | other.can1)
+
+
+def _and3(fanin: Sequence[TernaryWord], mask: int) -> TernaryWord:
+    can1 = mask
+    can0 = 0
+    for w in fanin:
+        can1 &= w.can1
+        can0 |= w.can0
+    return TernaryWord(can0, can1)
+
+
+def _or3(fanin: Sequence[TernaryWord], mask: int) -> TernaryWord:
+    can0 = mask
+    can1 = 0
+    for w in fanin:
+        can0 &= w.can0
+        can1 |= w.can1
+    return TernaryWord(can0, can1)
+
+
+def _xor3(fanin: Sequence[TernaryWord], mask: int) -> TernaryWord:
+    acc = TernaryWord.const(0, mask)
+    for w in fanin:
+        acc = TernaryWord(
+            (acc.can0 & w.can0) | (acc.can1 & w.can1),
+            (acc.can0 & w.can1) | (acc.can1 & w.can0),
+        )
+    return acc
+
+
+def _invert(word: TernaryWord) -> TernaryWord:
+    return TernaryWord(word.can1, word.can0)
+
+
+def eval_gate3(
+    gate_type: GateType, fanin: Sequence[TernaryWord], mask: int
+) -> TernaryWord:
+    """Ternary transfer function of a primitive gate."""
+    if gate_type is GateType.AND:
+        return _and3(fanin, mask)
+    if gate_type is GateType.NAND:
+        return _invert(_and3(fanin, mask))
+    if gate_type is GateType.OR:
+        return _or3(fanin, mask)
+    if gate_type is GateType.NOR:
+        return _invert(_or3(fanin, mask))
+    if gate_type is GateType.XOR:
+        return _xor3(fanin, mask)
+    if gate_type is GateType.XNOR:
+        return _invert(_xor3(fanin, mask))
+    if gate_type in (GateType.BUF, GateType.NOT):
+        if len(fanin) != 1:
+            raise NetlistError(f"{gate_type.value} gate needs exactly one fan-in")
+        return fanin[0] if gate_type is GateType.BUF else _invert(fanin[0])
+    if gate_type is GateType.CONST0:
+        return TernaryWord.const(0, mask)
+    if gate_type is GateType.CONST1:
+        return TernaryWord.const(1, mask)
+    raise NetlistError(f"no ternary transfer function for {gate_type.value}")
+
+
+def row_compatible(
+    fanin: Sequence[TernaryWord], row: int, mask: int
+) -> int:
+    """Patterns where LUT row *row* **may** be selected.
+
+    Pin *p* (LSB of the row index) is compatible with bit ``row_p`` when
+    its rail for that value is set — X pins are compatible with both.
+    """
+    word = mask
+    for pin, rails in enumerate(fanin):
+        word &= rails.can1 if (row >> pin) & 1 else rails.can0
+        if not word:
+            break
+    return word
+
+
+def row_selected(fanin: Sequence[TernaryWord], row: int, mask: int) -> int:
+    """Patterns where the fan-in is concrete and **provably** equals *row*."""
+    word = mask
+    for pin, rails in enumerate(fanin):
+        word &= rails.concrete1() if (row >> pin) & 1 else rails.concrete0()
+        if not word:
+            break
+    return word
+
+
+def eval_lut3(
+    config: int, fanin: Sequence[TernaryWord], mask: int
+) -> TernaryWord:
+    """Ternary transfer function of a *programmed* LUT, treated atomically.
+
+    The output can be *v* at a pattern iff some compatible row is
+    programmed to *v* — more precise than decomposing the LUT into gates
+    (an XOR-configured LUT with one X pin is still X, not over-widened).
+    """
+    rows = 1 << len(fanin)
+    can0 = 0
+    can1 = 0
+    for row in range(rows):
+        compatible = row_compatible(fanin, row, mask)
+        if not compatible:
+            continue
+        if (config >> row) & 1:
+            can1 |= compatible
+        else:
+            can0 |= compatible
+    return TernaryWord(can0, can1)
+
+
+def unknown_lut3(fanin: Sequence[TernaryWord], mask: int) -> TernaryWord:
+    """An unprogrammed LUT is ⊤: any row may hold either value."""
+    del fanin  # the withheld configuration erases all fan-in information
+    return TernaryWord.unknown(mask)
+
+
+def decode_assignment(
+    names: Sequence[str], pattern: int
+) -> "dict[str, int]":
+    """Pattern index → concrete input assignment, matching the bit-block
+    layout of :func:`repro.sim.logicsim.exhaustive_input_words` (input *i*
+    carries bit *i* of the pattern index)."""
+    return {name: (pattern >> i) & 1 for i, name in enumerate(names)}
+
+
+__all__: List[str] = [
+    "TernaryWord",
+    "decode_assignment",
+    "eval_gate3",
+    "eval_lut3",
+    "row_compatible",
+    "row_selected",
+    "unknown_lut3",
+]

@@ -6,6 +6,9 @@ A registry-driven lint framework in three rule families:
   (Supersedes the historical ``repro.netlist.validate`` checks.)
 * **security** (``SEC2xx``) — does the lock deliver the paper's Eq. 2/3
   attack cost, or has a selection pattern collapsed it back to Eq. 1?
+  The ``SEC4xx`` sub-family is proof-carrying: it is backed by the
+  :mod:`repro.dataflow` abstract-interpretation engine (per-key-bit
+  leakage verdicts with SAT-verifiable witnesses).
 * **timing** (``TIM3xx``) — does the lock respect Algorithm 1/2's
   non-critical-path and slack invariants?
 
@@ -45,6 +48,7 @@ from .source import lint_bench_source, parse_suppressions
 # Importing the rule modules populates the registry.
 from . import rules_structural  # noqa: F401  (registration side-effect)
 from . import rules_security  # noqa: F401
+from . import rules_dataflow  # noqa: F401
 from . import rules_timing  # noqa: F401
 
 __all__ = [

@@ -41,14 +41,17 @@ from ..obs import record_error
 
 
 class Severity(enum.Enum):
-    """Finding severity; ``ERROR`` gates flows, ``WARNING`` informs."""
+    """Finding severity; ``ERROR`` gates flows, ``WARNING`` informs,
+    ``NOTE`` records advisory facts (e.g. don't-care key bits)."""
 
     ERROR = "error"
     WARNING = "warning"
+    NOTE = "note"
 
     @property
     def rank(self) -> int:
-        return 0 if self is Severity.ERROR else 1
+        """Lower is more severe (``ERROR`` < ``WARNING`` < ``NOTE``)."""
+        return {"error": 0, "warning": 1, "note": 2}[self.value]
 
 
 class Category(enum.Enum):
@@ -136,6 +139,9 @@ class LintConfig:
     timing_margin: float = 0.08
     #: Absolute clock constraint for TIM301 when no original is available.
     clock_period_ns: Optional[float] = None
+    #: Largest cone support the dataflow key-leakage engine analyses
+    #: exhaustively (SEC4xx rules); larger cones are sampled.
+    dataflow_max_support: int = 12
 
 
 class LintContext:
@@ -157,9 +163,12 @@ class LintContext:
         #: netlist that cannot be timed says so instead of silently
         #: skipping every timing rule.
         self.sta_failures: List[str] = []
+        #: Dataflow-audit failures, same contract as :attr:`sta_failures`.
+        self.dataflow_failures: List[str] = []
         self._timing = None
         self._timing_report: object = _UNSET
         self._original_report: object = _UNSET
+        self._dataflow_report: object = _UNSET
 
     @property
     def timing(self):
@@ -176,6 +185,40 @@ class LintContext:
         if self._timing_report is _UNSET:
             self._timing_report = self._safe_sta(self.netlist)
         return self._timing_report
+
+    def dataflow_report(self):
+        """Key-leakage audit of the linted netlist (SEC4xx rules).
+
+        Lazily built by :class:`repro.dataflow.KeyLeakAnalyzer`; ``None``
+        when the netlist holds no LUTs (nothing is locked) or when the
+        structure is too broken to analyse — the failure is recorded in
+        :attr:`dataflow_failures` and surfaced as a report diagnostic.
+        """
+        if self._dataflow_report is _UNSET:
+            self._dataflow_report = self._safe_dataflow(self.netlist)
+        return self._dataflow_report
+
+    def _safe_dataflow(self, netlist: Optional[Netlist]):
+        if netlist is None or not netlist.luts:
+            return None
+        from ..dataflow import AuditConfig, KeyLeakAnalyzer
+
+        analyzer = KeyLeakAnalyzer(
+            AuditConfig(max_support=self.config.dataflow_max_support)
+        )
+        try:
+            return analyzer.analyze(netlist)
+        except (NetlistError, KeyError) as exc:
+            # Same contract as _safe_sta: a structurally broken netlist
+            # cannot be audited; the structural rules report the defect,
+            # and the skip is recorded so it is visible.
+            message = (
+                f"dataflow audit failed on {netlist.name!r}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            self.dataflow_failures.append(message)
+            record_error(message, netlist=netlist.name)
+            return None
 
     def original_timing_report(self):
         """STA report of the pre-lock netlist from :class:`LockMetadata`."""
@@ -324,13 +367,27 @@ class LintReport:
         return [f for f in self.findings if f.severity is Severity.WARNING]
 
     @property
+    def notes(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.NOTE]
+
+    @property
     def has_errors(self) -> bool:
         return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def fails_at(self, threshold: Severity) -> bool:
+        """Whether any finding is at least as severe as *threshold*.
+
+        The ``--fail-on`` exit-code contract: ``fails_at(ERROR)`` is the
+        historical behaviour (errors only), ``fails_at(WARNING)`` also
+        trips on warnings, ``fails_at(NOTE)`` on any finding at all.
+        """
+        return any(f.severity.rank <= threshold.rank for f in self.findings)
 
     def counts(self) -> Dict[str, int]:
         return {
             "errors": len(self.errors),
             "warnings": len(self.warnings),
+            "notes": len(self.notes),
             "suppressed": self.n_suppressed,
         }
 
@@ -351,6 +408,8 @@ class LintReport:
             parts.append(f"{len(self.errors)} error(s)")
         if self.warnings:
             parts.append(f"{len(self.warnings)} warning(s)")
+        if self.notes:
+            parts.append(f"{len(self.notes)} note(s)")
         rules = ", ".join(sorted(self.by_rule()))
         return f"{' + '.join(parts)} [{rules}]"
 
@@ -472,7 +531,7 @@ class Linter:
             findings=findings,
             n_suppressed=n_suppressed,
             artifact=artifact,
-            diagnostics=list(ctx.sta_failures),
+            diagnostics=list(ctx.sta_failures) + list(ctx.dataflow_failures),
         )
 
     def run_source(

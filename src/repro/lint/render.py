@@ -19,7 +19,7 @@ TOOL_NAME = "repro-lint"
 
 
 def _severity_to_level(severity: Severity) -> str:
-    return "error" if severity is Severity.ERROR else "warning"
+    return severity.value  # Severity values mirror SARIF levels
 
 
 def render_text(report: LintReport) -> str:
@@ -31,9 +31,12 @@ def render_text(report: LintReport) -> str:
     if not report.findings:
         lines = [f"lint: {report.netlist_name} — clean{suffix}"]
     else:
+        note_part = (
+            f", {counts['notes']} note(s)" if counts["notes"] else ""
+        )
         lines = [
             f"lint: {report.netlist_name} — {counts['errors']} error(s), "
-            f"{counts['warnings']} warning(s){suffix}"
+            f"{counts['warnings']} warning(s){note_part}{suffix}"
         ]
         for finding in report.findings:
             lines.append(f"  {finding}")

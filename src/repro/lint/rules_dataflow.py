@@ -1,0 +1,156 @@
+"""Security rules backed by the dataflow engine (``SEC4xx``).
+
+Unlike the pattern-matching ``SEC2xx`` family, these rules are *proof-
+carrying*: they read the abstract-interpretation audit from
+:meth:`~repro.lint.core.LintContext.dataflow_report` — ternary constant
+propagation with key inputs as ⊤, dual forced runs per locked gate — so
+an ``inferable-key-bit`` finding names a concrete distinguishing input
+and a ``dont-care-key-bit`` finding is SAT-verifiable.  The audit is
+built lazily and shared across the family (one engine pass per lint
+run), and is skipped entirely for netlists without LUTs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .core import Category, Finding, LintContext, Rule, Severity, register
+
+
+@register
+class InferableKeyBit(Rule):
+    id = "SEC401"
+    slug = "inferable-key-bit"
+    title = "Withheld key bit provably recoverable with one oracle query"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "A distinguishing input exists that justifies the LUT row and "
+        "propagates its value to an observation point regardless of every "
+        "other withheld bit: the bit costs the attacker one test pattern, "
+        "collapsing its contribution to the Eq. 2/3 product to nothing."
+    )
+    autofix = (
+        "select a deeper or more entangled gate, or widen the LUT so the "
+        "row can no longer be justified and observed independently"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        report = ctx.dataflow_report()
+        if report is None:
+            return
+        from ..dataflow import Verdict
+
+        for audit in report.luts:
+            rows = audit.rows_with(Verdict.PROVABLY_INFERABLE)
+            if not rows:
+                continue
+            scope = "exhaustive" if audit.exhaustive else "sampled"
+            yield self.finding(
+                f"{len(rows)} of {audit.n_rows} withheld rows of LUT "
+                f"{audit.lut!r} are provably inferable with one oracle "
+                f"query each ({scope} analysis; rows {rows})",
+                net=audit.lut,
+            )
+
+
+@register
+class DontCareKeyBit(Rule):
+    id = "SEC402"
+    slug = "dont-care-key-bit"
+    title = "Withheld key bit provably redundant (unreachable/ODC row)"
+    severity = Severity.NOTE
+    category = Category.SECURITY
+    rationale = (
+        "The row is never exercised (constant or unreachable fan-in) or "
+        "never observed (ODC): flipping the bit cannot change the circuit, "
+        "so it inflates the nominal key length without adding attack cost."
+    )
+    autofix = (
+        "discount don't-care rows when sizing the key budget, or pick a "
+        "replacement site whose fan-in exercises every row"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        report = ctx.dataflow_report()
+        if report is None:
+            return
+        for audit in report.luts:
+            rows = audit.dont_care_rows
+            if not rows:
+                continue
+            yield self.finding(
+                f"{len(rows)} of {audit.n_rows} withheld rows of LUT "
+                f"{audit.lut!r} are don't-care (rows {rows}): they "
+                "protect nothing",
+                net=audit.lut,
+            )
+
+
+@register
+class UnobservableLut(Rule):
+    id = "SEC403"
+    slug = "unobservable-lut"
+    title = "Locked gate cannot influence any observation point"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "The LUT's output reaches no primary output or flip-flop D pin, "
+        "or every path is blocked by observability don't-cares: the "
+        "withheld function is irrelevant to the design, so the lock "
+        "spends STT area without buying any security."
+    )
+    autofix = "lock a gate on a live observable path instead"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        report = ctx.dataflow_report()
+        if report is None:
+            return
+        for audit in report.luts:
+            if not audit.observation_points:
+                yield self.finding(
+                    f"LUT {audit.lut!r} has no combinational path to any "
+                    "primary output or flip-flop input",
+                    net=audit.lut,
+                )
+            elif audit.exhaustive and audit.bits and all(
+                bit.reason
+                in ("lut-unobservable", "row-odc-redundant", "row-unreachable")
+                for bit in audit.bits
+            ) and any(
+                bit.reason != "row-unreachable" for bit in audit.bits
+            ):
+                yield self.finding(
+                    f"LUT {audit.lut!r} is ODC-masked: no input pattern "
+                    "provably propagates its output to an observation "
+                    "point independently of the other withheld "
+                    "configurations",
+                    net=audit.lut,
+                )
+
+
+@register
+class MuxBypassLut(Rule):
+    id = "SEC404"
+    slug = "mux-bypass-lut"
+    title = "Provisioned LUT configuration is a single-pin passthrough"
+    severity = Severity.WARNING
+    category = Category.SECURITY
+    rationale = (
+        "A configuration that buffers or inverts one pin makes the LUT a "
+        "wire in disguise — the eASIC-style LUT-CAD attacks resolve such "
+        "cells structurally without touching the oracle."
+    )
+    autofix = "absorb neighbouring logic into the LUT before provisioning"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        report = ctx.dataflow_report()
+        if report is None:
+            return
+        for audit in report.luts:
+            if audit.mux_bypass is not None:
+                yield self.finding(
+                    f"LUT {audit.lut!r} configuration merely passes "
+                    f"through pin {audit.mux_bypass!r}",
+                    net=audit.lut,
+                )

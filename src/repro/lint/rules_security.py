@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..netlist.transform import immediate_neighbours
 from .core import Category, Finding, LintContext, Rule, Severity, register
 
 
@@ -125,32 +124,22 @@ class UslGap(Rule):
     autofix = "re-run selection with a larger timing margin, or record the skip"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # The closure walk itself lives in the dataflow package
+        # (dependency-cone machinery); this rule just renders its gaps.
+        from ..dataflow import closure_gaps
+
         metadata = ctx.metadata
-        netlist = ctx.netlist
         if metadata is None or not metadata.usl_gates:
             return
-        usl = set(metadata.usl_gates)
-        justified = set(metadata.skipped_neighbours)
-        for gate in sorted(usl):
-            if gate not in netlist:
-                continue  # swept after locking (e.g. scan removal)
-            gate_node = netlist.node(gate)
-            if gate_node.is_lut:
-                continue  # selected via another path after joining the USL
-            for neighbour in immediate_neighbours(netlist, gate):
-                node = netlist.node(neighbour)
-                if node.is_lut or neighbour in usl or neighbour in justified:
-                    continue
-                # The algorithm only considers >=2-input gates; BUF/NOT and
-                # constants have no secret truth table to protect.
-                if node.n_inputs < 2:
-                    continue
-                yield self.finding(
-                    f"neighbour {neighbour!r} of unselected path gate "
-                    f"{gate!r} was neither replaced nor recorded as a "
-                    "timing-justified skip (USL closure gap)",
-                    net=neighbour,
-                )
+        for gate, neighbour in closure_gaps(
+            ctx.netlist, metadata.usl_gates, metadata.skipped_neighbours
+        ):
+            yield self.finding(
+                f"neighbour {neighbour!r} of unselected path gate "
+                f"{gate!r} was neither replaced nor recorded as a "
+                "timing-justified skip (USL closure gap)",
+                net=neighbour,
+            )
 
 
 @register

@@ -11,6 +11,7 @@ from .budget import (
     years_to_clocks,
 )
 from .flow import (
+    AuditPolicy,
     FlowReport,
     SecurityDrivenFlow,
     SecurityLevel,
@@ -39,6 +40,7 @@ __all__ = [
     "plan_parametric",
     "required_missing_gates",
     "years_to_clocks",
+    "AuditPolicy",
     "FlowReport",
     "SecurityDrivenFlow",
     "SecurityLevel",

@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from ..analysis.ppa import OverheadReport, PpaAnalyzer
 from ..lint import Category, Linter, LintReport, LockMetadata
@@ -43,6 +43,9 @@ from .independent import IndependentSelection
 from .metrics import SecurityAnalyzer, SecurityReport
 from .parametric import ParametricSelection
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow import AuditReport
+
 
 class SecurityLevel(enum.Enum):
     """The designer's security requirement, mapped onto the algorithms.
@@ -60,6 +63,28 @@ class SecurityLevel(enum.Enum):
     STRONG_TIMING_AWARE = "strong-timing-aware"
 
 
+class AuditPolicy(enum.Enum):
+    """What the pre-attack static audit does about inferable key bits.
+
+    The :mod:`repro.dataflow` engine runs on the foundry view right after
+    selection — before sign-off, PPA, or any artifact is produced — so a
+    selection whose withheld bits are provably recoverable can be caught
+    while re-rolling is still cheap.
+
+    * ``OFF`` — skip the audit entirely.
+    * ``WARN`` — audit, attach the report to the flow report, never abort.
+    * ``REROLL`` — re-run selection with derived seeds (up to
+      ``audit_rerolls`` extra attempts) until no key bit is provably
+      inferable; raise if every attempt leaks.
+    * ``REJECT`` — raise immediately on the first inferable key bit.
+    """
+
+    OFF = "off"
+    WARN = "warn"
+    REROLL = "reroll"
+    REJECT = "reject"
+
+
 @dataclass(frozen=True)
 class SecurityRequirement:
     """Inputs to the flow beyond the netlist itself."""
@@ -71,6 +96,10 @@ class SecurityRequirement:
     min_missing_gates: int = 1
     disable_scan_on_release: bool = True
     seed: int = 0
+    #: Pre-attack static key-leakage audit of the selection (repro.dataflow).
+    audit_policy: AuditPolicy = AuditPolicy.WARN
+    audit_rerolls: int = 3
+    audit_max_support: int = 12
 
 
 @dataclass
@@ -87,6 +116,8 @@ class FlowReport:
     artifacts: Dict[str, Path] = field(default_factory=dict)
     #: Post-flight lint over the release netlist (security + timing rules).
     lint: Optional[LintReport] = None
+    #: Pre-attack static key-leakage audit of the accepted selection.
+    audit: Optional["AuditReport"] = None
 
     @property
     def n_stt(self) -> int:
@@ -106,6 +137,8 @@ class FlowReport:
             f"{'VERIFIED' if self.equivalence_verified else 'FAILED'}",
             f"  scan:         {'disabled for release' if self.scan_disabled else 'left as-is'}",
         ]
+        if self.audit is not None:
+            lines.append(f"  audit:        {self.audit.summary()}")
         if self.lint is not None:
             lines.append(f"  lint:         {self.lint.summary()}")
         for name, path in self.artifacts.items():
@@ -130,11 +163,13 @@ class SecurityDrivenFlow:
         self.linter = linter or Linter()
 
     # ------------------------------------------------------------------
-    def choose_algorithm(self, requirement: SecurityRequirement):
+    def choose_algorithm(
+        self, requirement: SecurityRequirement, seed: Optional[int] = None
+    ):
         common = dict(
             tech=self.tech,
             stt=self.stt,
-            seed=requirement.seed,
+            seed=requirement.seed if seed is None else seed,
             decoy_inputs=requirement.decoy_inputs,
             absorb=requirement.absorb,
         )
@@ -176,14 +211,7 @@ class SecurityDrivenFlow:
                     + preflight.render_text()
                 )
 
-            algorithm = self.choose_algorithm(requirement)
-            with span("flow.select", algorithm=algorithm.name):
-                result = algorithm.run(netlist)
-            if result.n_stt < requirement.min_missing_gates:
-                raise NetlistError(
-                    f"selection produced {result.n_stt} missing gates; the "
-                    f"requirement demands ≥ {requirement.min_missing_gates}"
-                )
+            result, audit = self._audited_selection(netlist, requirement)
 
             # Sign-off: the provisioned hybrid must implement the design.
             with span("flow.signoff") as signoff_span:
@@ -246,10 +274,82 @@ class SecurityDrivenFlow:
                 equivalence_verified=verified,
                 scan_disabled=scan_disabled,
                 lint=postflight,
+                audit=audit,
             )
             if output_dir is not None:
                 report.artifacts = self._emit(result, Path(output_dir))
         return report
+
+    # ------------------------------------------------------------------
+    def _audited_selection(
+        self, netlist: Netlist, requirement: SecurityRequirement
+    ) -> Tuple[SelectionResult, Optional["AuditReport"]]:
+        """Run selection and apply the pre-attack audit policy.
+
+        Each attempt audits the foundry view with the dataflow engine; a
+        selection is *statically weak* when any withheld key bit gets a
+        ``provably-inferable`` verdict.  ``REROLL`` retries selection with
+        seeds derived from the requirement seed (deterministic across
+        runs), ``REJECT`` aborts on the first weak selection, ``WARN``
+        keeps the report for the designer.
+        """
+        policy = requirement.audit_policy
+        analyzer = None
+        if policy is not AuditPolicy.OFF:
+            from ..dataflow import AuditConfig, KeyLeakAnalyzer
+
+            analyzer = KeyLeakAnalyzer(
+                AuditConfig(max_support=requirement.audit_max_support)
+            )
+        attempts = 1
+        if policy is AuditPolicy.REROLL:
+            attempts += max(0, requirement.audit_rerolls)
+
+        result = None
+        audit = None
+        for attempt in range(attempts):
+            if attempt == 0:
+                seed: Optional[int] = None
+            else:
+                from ..sweep.spec import derive_seed
+
+                seed = derive_seed(
+                    "flow.audit.reroll", requirement.seed, attempt
+                )
+            algorithm = self.choose_algorithm(requirement, seed=seed)
+            with span(
+                "flow.select", algorithm=algorithm.name, attempt=attempt
+            ):
+                result = algorithm.run(netlist)
+            if result.n_stt < requirement.min_missing_gates:
+                raise NetlistError(
+                    f"selection produced {result.n_stt} missing gates; the "
+                    f"requirement demands ≥ {requirement.min_missing_gates}"
+                )
+            if analyzer is None:
+                return result, None
+            with span("flow.audit", attempt=attempt) as audit_span:
+                audit = analyzer.analyze(result.foundry_view())
+                audit_span.set(
+                    n_inferable=audit.n_inferable,
+                    n_weak=audit.n_weak,
+                    n_key_bits=audit.n_key_bits,
+                )
+            if audit.n_inferable == 0 or policy is AuditPolicy.WARN:
+                return result, audit
+            if policy is AuditPolicy.REJECT:
+                break
+        assert audit is not None and result is not None
+        detail = (
+            f"{audit.n_inferable} of {audit.n_key_bits} withheld key bits "
+            f"are provably inferable ({audit.summary()})"
+        )
+        if policy is AuditPolicy.REROLL:
+            raise NetlistError(
+                f"pre-attack audit rejected every selection after "
+                f"{attempts} attempt(s): {detail}"
+            )
+        raise NetlistError(f"pre-attack audit rejected the selection: {detail}")
 
     # ------------------------------------------------------------------
     def _emit(self, result: SelectionResult, outdir: Path) -> Dict[str, Path]:

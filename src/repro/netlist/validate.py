@@ -6,10 +6,15 @@ The checks themselves now live in :mod:`repro.lint.rules_structural`
 objects (``code`` is the rule slug, e.g. ``"undriven-net"``), and
 :func:`assert_valid` raises a :class:`NetlistError` aggregating **all**
 error-severity issues, not just the first.
+
+Both entry points emit a :class:`DeprecationWarning`: new code should run
+the linter directly (``Linter().run(netlist, categories={STRUCTURAL})``)
+and work with :class:`~repro.lint.core.Finding` objects.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List
 
@@ -38,6 +43,12 @@ def validate_netlist(netlist: Netlist, allow_unprogrammed_luts: bool = True) -> 
     see ``docs/LINTING.md`` for the rule catalogue.  ``Issue.code`` carries
     the rule slug (``"undriven-net"``), matching the historical codes.
     """
+    warnings.warn(
+        "validate_netlist is deprecated; use repro.lint.Linter().run("
+        "netlist, categories={Category.STRUCTURAL}) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = LintConfig(allow_unprogrammed_luts=allow_unprogrammed_luts)
     report = Linter(config=config).run(
         netlist, categories={Category.STRUCTURAL}
@@ -47,7 +58,17 @@ def validate_netlist(netlist: Netlist, allow_unprogrammed_luts: bool = True) -> 
 
 def assert_valid(netlist: Netlist, allow_unprogrammed_luts: bool = True) -> None:
     """Raise :class:`NetlistError` listing *every* error-severity issue."""
-    issues = validate_netlist(netlist, allow_unprogrammed_luts=allow_unprogrammed_luts)
+    warnings.warn(
+        "assert_valid is deprecated; use repro.lint.Linter and "
+        "LintReport.has_errors instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        issues = validate_netlist(
+            netlist, allow_unprogrammed_luts=allow_unprogrammed_luts
+        )
     errors = [i for i in issues if i.severity is Severity.ERROR]
     if errors:
         detail = "; ".join(str(e) for e in errors)

@@ -42,6 +42,9 @@ class TestRegistry:
             "sat-vs-exhaustive",
             "sweep-modes-identical",
             "attack-oracle-equivalence",
+            "dataflow-inferable-recovery",
+            "dataflow-dontcare-sat",
+            "dataflow-ternary-soundness",
             "metamorphic-roundtrip",
             "lock-unlock-roundtrip",
             "keybatch-lane-parity",
@@ -52,6 +55,7 @@ class TestRegistry:
             "sat",
             "sweep",
             "attack",
+            "dataflow",
             "metamorphic",
             "keybatch",
         }

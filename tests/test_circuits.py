@@ -14,12 +14,11 @@ from repro.circuits import (
     load_benchmark,
     spec,
 )
+from repro.lint import Category, Linter
 from repro.netlist import (
-    Severity,
     logic_depth,
     sequential_depth,
     topological_order,
-    validate_netlist,
 )
 
 
@@ -71,10 +70,8 @@ class TestGenerator:
 
     def test_structurally_valid(self):
         n = load_benchmark("s1196")
-        errors = [
-            i for i in validate_netlist(n) if i.severity is Severity.ERROR
-        ]
-        assert not errors
+        report = Linter().run(n, categories={Category.STRUCTURAL})
+        assert not report.has_errors, report.render_text()
         assert len(topological_order(n)) == len(n)
 
     def test_deterministic(self):

@@ -197,3 +197,98 @@ class TestReport:
     def test_report_lists_benches(self, capsys):
         assert main(["report"]) == 0
         assert "pytest benchmarks/" in capsys.readouterr().out
+
+
+class TestLintFailOn:
+    @pytest.fixture
+    def locked_file(self, s27_file, tmp_path):
+        out = tmp_path / "locked.bench"
+        main(["lock", str(s27_file), "--algorithm", "independent",
+              "--seed", "0", "--out", str(out)])
+        return out
+
+    def test_default_threshold_ignores_warnings(self, locked_file, capsys):
+        # A fresh lock lints warning/note-clean of errors: exit 0 by default.
+        assert main(["lint", str(locked_file)]) == 0
+        capsys.readouterr()
+
+    def test_warning_threshold_fails(self, locked_file, capsys):
+        assert main(["lint", str(locked_file), "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_note_threshold_is_strictest(self, locked_file, capsys):
+        assert main(["lint", str(locked_file), "--fail-on", "note"]) == 1
+        capsys.readouterr()
+
+    def test_clean_circuit_passes_every_threshold(self, capsys):
+        for threshold in ("error", "warning", "note"):
+            assert main(["lint", "s27", "--fail-on", threshold]) == 0
+            capsys.readouterr()
+
+
+class TestAuditCommand:
+    def test_audit_locked_benchmark_text(self, capsys):
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: " in out
+        assert "verification:" in out
+
+    def test_audit_requires_luts_or_algorithm(self, s27_file):
+        with pytest.raises(SystemExit, match="no LUTs"):
+            main(["audit", str(s27_file)])
+
+    def test_audit_json_contains_verification(self, capsys):
+        assert main(["audit", "s27", "--algorithm", "parametric",
+                     "--seed", "0", "--format", "json"]) == 0
+        data = __import__("json").loads(capsys.readouterr().out)
+        assert data["tool"] == "repro-audit"
+        assert data["verification"]["ok"] is True
+        assert data["summary"]["key_bits"] > 0
+
+    def test_audit_sarif_shape(self, capsys):
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0", "--format", "sarif"]) == 0
+        sarif = __import__("json").loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro-audit"
+        assert sarif["runs"][0]["results"]
+
+    def test_audit_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "audit.json"
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0", "--format", "json",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_audit_fail_on_inferable(self, capsys):
+        # Small circuits always leak a few bits: the stricter threshold
+        # fails even though every claim verifies.
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0", "--fail-on", "inferable"]) == 1
+        capsys.readouterr()
+
+    def test_audit_unverified_claims_fail_by_default(self, capsys):
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0", "--no-verify"]) == 1
+        capsys.readouterr()
+        assert main(["audit", "s27", "--algorithm", "independent",
+                     "--seed", "0", "--no-verify", "--fail-on",
+                     "never"]) == 0
+        capsys.readouterr()
+
+    def test_audit_foundry_view_is_unverifiable(self, tmp_path, capsys):
+        # Lock, strip the configurations, audit the bare foundry view:
+        # strong claims exist but nothing can verify them.
+        hybrid = tmp_path / "h.bench"
+        main(["lock", "s27", "--algorithm", "independent", "--seed", "0",
+              "--out", str(hybrid)])
+        from repro.lut.mapping import HybridMapper
+
+        foundry = HybridMapper().strip_configs(bench_io.load(hybrid))
+        stripped = tmp_path / "foundry.bench"
+        bench_io.dump(foundry, stripped)
+        capsys.readouterr()
+        assert main(["audit", str(stripped)]) == 1
+        assert "unverifiable" in capsys.readouterr().out

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.locking import (
+    AuditPolicy,
     DependentSelection,
     IndependentSelection,
     ParametricSelection,
@@ -120,3 +121,61 @@ class TestRun:
         )
         assert not report.scan_disabled
         assert "scan_out" in report.selection.hybrid.outputs
+
+
+class TestPreAttackAudit:
+    """The dataflow audit hook between selection and sign-off."""
+
+    def test_warn_policy_attaches_audit_report(self, flow, s27):
+        report = flow.run(
+            s27, SecurityRequirement(level=SecurityLevel.BASIC, seed=1)
+        )
+        assert report.audit is not None
+        assert report.audit.n_key_bits > 0
+        assert report.audit.summary().startswith("audit:")
+        assert "audit:" in report.summary()
+
+    def test_off_policy_skips_the_audit(self, flow, s27):
+        report = flow.run(
+            s27,
+            SecurityRequirement(
+                level=SecurityLevel.BASIC,
+                seed=1,
+                audit_policy=AuditPolicy.OFF,
+            ),
+        )
+        assert report.audit is None
+
+    def test_reject_policy_refuses_a_leaky_selection(self, flow, s27):
+        # s27 is small enough that every selection leaves provably
+        # inferable bits — REJECT must abort before sign-off.
+        with pytest.raises(
+            NetlistError, match="pre-attack audit rejected the selection"
+        ):
+            flow.run(
+                s27,
+                SecurityRequirement(
+                    level=SecurityLevel.BASIC,
+                    seed=1,
+                    audit_policy=AuditPolicy.REJECT,
+                ),
+            )
+
+    def test_reroll_policy_exhausts_derived_seeds(self, flow, s27):
+        with pytest.raises(
+            NetlistError, match=r"every selection after 3 attempt"
+        ):
+            flow.run(
+                s27,
+                SecurityRequirement(
+                    level=SecurityLevel.BASIC,
+                    seed=1,
+                    audit_policy=AuditPolicy.REROLL,
+                    audit_rerolls=2,
+                ),
+            )
+
+    def test_choose_algorithm_seed_override(self, flow):
+        req = SecurityRequirement(level=SecurityLevel.BASIC, seed=5)
+        assert flow.choose_algorithm(req).seed == 5
+        assert flow.choose_algorithm(req, seed=99).seed == 99

@@ -245,6 +245,27 @@ def test_no_raw_perf_counter_outside_obs():
     )
 
 
+def test_no_unseeded_randomness():
+    """Ban ``random.seed`` and argless ``random.Random()`` everywhere in
+    ``src/repro`` (belt to the ruff TID251 braces): reseeding the global
+    RNG or drawing an OS-entropy stream breaks the reproduction-coordinate
+    contract — every stream must be ``random.Random(derive_seed(...))``.
+    """
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    banned = ("random.seed(", "random.Random()")
+    offenders = [
+        f"{path.relative_to(src)}:{lineno}"
+        for path in sorted(src.rglob("*.py"))
+        for lineno, line in enumerate(path.read_text().splitlines(), 1)
+        if not line.lstrip().startswith("#")
+        and any(pattern in line for pattern in banned)
+    ]
+    assert offenders == [], (
+        "unseeded/global randomness — derive the stream with "
+        f"random.Random(derive_seed(...)): {offenders}"
+    )
+
+
 # ----------------------------------------------------------------------
 # pipeline instrumentation
 # ----------------------------------------------------------------------

@@ -1,8 +1,17 @@
-"""Tests for the structural lint."""
+"""Tests for the deprecated ``repro.netlist.validate`` shim.
+
+The shim stays importable for callers that predate :mod:`repro.lint`, but
+every entry point now emits a :class:`DeprecationWarning` (asserted in
+:class:`TestDeprecation`; silenced for the behavioural tests below).
+"""
 
 from __future__ import annotations
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning"
+)
 
 from repro.netlist import (
     GateType,
@@ -107,3 +116,13 @@ class TestValidate:
         issue = validate_netlist(n)[0]
         assert "undriven-output" in str(issue)
         assert "[error]" in str(issue)
+
+
+class TestDeprecation:
+    def test_validate_netlist_warns(self, s27):
+        with pytest.warns(DeprecationWarning, match="validate_netlist"):
+            validate_netlist(s27)
+
+    def test_assert_valid_warns(self, s27):
+        with pytest.warns(DeprecationWarning, match="assert_valid"):
+            assert_valid(s27)
