@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..netlist.csr import csr_view
 from ..netlist.graph import (
     PathGuide,
     combinational_gates_on,
@@ -118,6 +119,8 @@ class PathFinder:
     ) -> List[IOPath]:
         seen: Set[Tuple[str, ...]] = set()
         paths: List[IOPath] = []
+        view = csr_view(self.netlist)
+        is_seq, index = view.is_seq, view.index
         for component in components:
             found = find_io_path(
                 self.netlist,
@@ -133,19 +136,18 @@ class PathFinder:
             if key in seen:
                 continue
             seen.add(key)
-            n_ffs = sum(
-                1 for name in found if self.netlist.node(name).is_sequential
-            )
+            n_ffs = sum(1 for name in found if is_seq[index[name]])
             paths.append(IOPath(nodes=key, n_flip_flops=n_ffs))
         return paths
 
     def remove_critical(self, paths: List[IOPath]) -> List[IOPath]:
         """Drop paths that contain (part of) the timing-critical path."""
         report = self.timing.analyze(self.netlist)
+        view = csr_view(self.netlist)
         critical_gates = {
             name
             for name in report.critical_path
-            if self.netlist.node(name).is_combinational
+            if view.is_comb[view.id_of(name)]
         }
         if not critical_gates:
             return list(paths)

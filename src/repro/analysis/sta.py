@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..netlist.csr import csr_view
 from ..netlist.gates import GateType
-from ..netlist.graph import topological_order
 from ..netlist.netlist import Netlist
 from ..techlib.cells import TechLibrary, cmos_90nm
 from ..techlib.stt import SttLibrary, stt_mtj_32nm
@@ -87,47 +87,93 @@ class TimingAnalyzer:
         netlist: Netlist,
         clock_period_ns: Optional[float] = None,
     ) -> TimingReport:
-        """Run STA; returns arrivals, longest-path delay, and critical path."""
-        arrival: Dict[str, float] = {}
-        worst_fanin: Dict[str, Optional[str]] = {}
-        order = topological_order(netlist)
-        for name in order:
-            node = netlist.node(name)
-            if node.is_input:
-                arrival[name] = 0.0
-                worst_fanin[name] = None
-            elif node.is_sequential:
-                arrival[name] = self.tech.dff.clk_to_q_ns
-                worst_fanin[name] = None
-            else:
-                best_src, best_arr = None, 0.0
-                for src in node.fanin:
-                    src_arr = arrival[src]
-                    if best_src is None or src_arr > best_arr:
-                        best_src, best_arr = src, src_arr
-                arrival[name] = best_arr + self.gate_delay(netlist, name)
-                worst_fanin[name] = best_src
+        """Run STA; returns arrivals, longest-path delay, and critical path.
 
-        endpoint, max_delay = "", 0.0
+        The propagation runs over the CSR view: arrival times and worst
+        predecessors live in flat arrays indexed by node id, and per-node
+        delays come from a (gate type, arity) cache instead of a library
+        lookup per node.  Arithmetic order matches the historical
+        name-based walk exactly, so arrivals are bit-identical.
+        """
+        view = csr_view(netlist)
+        order = view.topo_order()
+        n = view.n
+        arr = [0.0] * n
+        prev = [-1] * n
+        clk_to_q = self.tech.dff.clk_to_q_ns
+        gate_types = view.gate_types
+        is_input, is_seq = view.is_input, view.is_seq
+        fi_ptr, fi_idx = view.fanin_ptr, view.fanin_idx
+        delay_cache: Dict[Tuple[GateType, int], float] = {}
+        for i in order:
+            if is_input[i]:
+                continue
+            if is_seq[i]:
+                arr[i] = clk_to_q
+                continue
+            base, end = fi_ptr[i], fi_ptr[i + 1]
+            best_arr = 0.0
+            if base != end:
+                j = fi_idx[base]
+                best_arr = arr[j]
+                best_j = j
+                for k in range(base + 1, end):
+                    j = fi_idx[k]
+                    src_arr = arr[j]
+                    if src_arr > best_arr:
+                        best_arr = src_arr
+                        best_j = j
+                prev[i] = best_j
+            gt = gate_types[i]
+            key = (gt, end - base)
+            delay = delay_cache.get(key)
+            if delay is None:
+                if gt is GateType.LUT:
+                    delay = self.stt.lut(end - base).delay_ns
+                else:
+                    delay = self.tech.cell(gt, end - base).delay_ns
+                delay_cache[key] = delay
+            arr[i] = best_arr + delay
+
+        endpoint, endpoint_id, max_delay = "", -1, 0.0
         # Endpoints: primary outputs and D pins of flip-flops (data arrival
         # plus setup must fit in the period; setup is added uniformly so it
         # cancels in overhead comparisons).
-        for po in netlist.outputs:
-            if arrival.get(po, 0.0) > max_delay:
-                endpoint, max_delay = po, arrival[po]
-        for ff in netlist.flip_flops:
-            d_pin = netlist.node(ff).fanin[0]
-            d_arr = arrival.get(d_pin, 0.0) + self.tech.dff.setup_ns
-            if d_arr > max_delay:
-                endpoint, max_delay = d_pin, d_arr
+        for i in view.output_ids:
+            if arr[i] > max_delay:
+                endpoint, endpoint_id, max_delay = view.names[i], i, arr[i]
+        setup = self.tech.dff.setup_ns
+        for i in range(n):
+            if not is_seq[i]:
+                continue
+            base, end = fi_ptr[i], fi_ptr[i + 1]
+            if base == end:
+                raise IndexError("list index out of range")
+            j = fi_idx[base]
+            if j >= 0:
+                d_arr = arr[j] + setup
+                if d_arr > max_delay:
+                    endpoint, endpoint_id, max_delay = view.names[j], j, d_arr
+            else:
+                # Dangling D pin: zero arrival, endpoint keeps the name.
+                d_arr = 0.0 + setup
+                if d_arr > max_delay:
+                    endpoint = view.dangling[(i, 0)]
+                    endpoint_id, max_delay = -1, d_arr
 
         path: List[str] = []
-        cursor: Optional[str] = endpoint or None
-        while cursor is not None:
-            path.append(cursor)
-            cursor = worst_fanin.get(cursor)
+        if endpoint and endpoint_id < 0:
+            path.append(endpoint)
+        cursor = endpoint_id
+        while cursor >= 0:
+            path.append(view.names[cursor])
+            cursor = prev[cursor]
         path.reverse()
 
+        names = view.names
+        arrival: Dict[str, float] = dict(
+            zip(map(names.__getitem__, order), map(arr.__getitem__, order))
+        )
         return TimingReport(
             max_delay_ns=max_delay,
             critical_path=tuple(path),

@@ -176,6 +176,7 @@ def _load_builtin_checks() -> None:
     # Import for the registration side effect; keep cli startup lazy.
     from . import checks_attacks  # noqa: F401
     from . import checks_dataflow  # noqa: F401
+    from . import checks_graph  # noqa: F401
     from . import checks_keybatch  # noqa: F401
     from . import checks_metamorphic  # noqa: F401
     from . import checks_obs  # noqa: F401

@@ -194,6 +194,47 @@ def _inject_dataflow_verdict_corruption() -> Callable[[], None]:
     return undo
 
 
+def _inject_csr_edge_corruption() -> Callable[[], None]:
+    """Freshly built CSR views carry one corrupted fan-in edge: the first
+    eligible combinational node reads a startpoint instead of its real
+    driver (a transposed index during construction).  The networkx and
+    dict-walk references are built from the ``Node`` dicts, never from
+    the arrays, so the graph parity checks must diverge."""
+    from ..netlist.csr import CsrView
+
+    original = CsrView.__init__
+
+    def corrupted_init(self, netlist):
+        original(self, netlist)
+        startpoint = next(
+            (j for j in range(self.n) if self.is_input[j] or self.is_seq[j]),
+            None,
+        )
+        if startpoint is None:
+            return
+        for i in range(self.n):
+            if not self.is_comb[i]:
+                continue
+            pins = list(
+                self.fanin_idx[self.fanin_ptr[i] : self.fanin_ptr[i + 1]]
+            )
+            # Only corrupt a node that doesn't already read the startpoint,
+            # so the corrupted fan-in *set* provably differs from the truth.
+            if startpoint in pins:
+                continue
+            for k in range(self.fanin_ptr[i], self.fanin_ptr[i + 1]):
+                if self.fanin_idx[k] >= 0:
+                    self.fanin_idx[k] = startpoint
+                    return
+
+    CsrView.__init__ = corrupted_init  # type: ignore[method-assign]
+
+    def undo() -> None:
+        CsrView.__init__ = original  # type: ignore[method-assign]
+
+    return undo
+
+
 FAULTS: List[Fault] = [
     Fault(
         name="stale-compiled-kernel",
@@ -237,6 +278,13 @@ FAULTS: List[Fault] = [
         family="keybatch",
         description="batched screening corrupts lane 0 of every survivor mask",
         inject=_inject_keybatch_lane_corruption,
+    ),
+    Fault(
+        name="csr-edge-corruption",
+        family="graph",
+        description="CSR views are built with one fan-in edge redirected "
+        "onto a startpoint",
+        inject=_inject_csr_edge_corruption,
     ),
 ]
 

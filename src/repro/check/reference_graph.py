@@ -1,0 +1,525 @@
+"""Pre-CSR dict-walk reference implementations for the ``graph`` checks.
+
+When ``repro.netlist`` moved to the flat-array (CSR) representation, the
+original dict-of-objects graph walks were preserved here *verbatim* as the
+independent side of the differential ``graph`` check family (and as the
+baseline of ``benchmarks/test_graph_throughput.py``).  Nothing in the hot
+pipeline imports this module: it exists so that topological orders, logic
+levels, cones, BFS guides, STA arrival times, path selection, and the
+traversal-heavy lint walks can each be confronted with a second, totally
+separate computation of the same fact.
+
+Two flavours of reference live here:
+
+* **dict-walk** functions (``dict_*`` / ``DictPathGuide`` /
+  ``dict_find_io_path`` / ``dict_sta``) — byte-for-byte ports of the
+  pre-refactor algorithms over ``Netlist``'s name-keyed dictionaries.
+  Their outputs must be *bit-identical* to the CSR kernels (same floats,
+  same tie-breaks, same rng consumption).
+* **networkx** builders (``nx_graph`` / ``nx_fanin_sets`` / ...) — a third
+  implementation over an object graph built directly from the netlist
+  (never from the CSR arrays, so a corrupted CSR edge cannot leak into
+  the reference).
+
+This module is one of the few places allowed to import :mod:`networkx`
+(see the ``TID251`` configuration in ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..netlist.csr import CombinationalLoopError
+from ..netlist.netlist import Netlist
+
+
+# ----------------------------------------------------------------------
+# dict-walk structural kernels (pre-refactor repro.netlist.graph)
+# ----------------------------------------------------------------------
+def dict_topological_order(netlist: Netlist) -> List[str]:
+    """Kahn's algorithm over the name-keyed dicts (pre-CSR implementation)."""
+    indegree: Dict[str, int] = {}
+    for node in netlist:
+        if node.is_input or node.is_sequential:
+            indegree[node.name] = 0
+        else:
+            indegree[node.name] = len(set(node.fanin))
+    ready = deque(name for name, deg in indegree.items() if deg == 0)
+    order: List[str] = []
+    while ready:
+        name = ready.popleft()
+        order.append(name)
+        for reader in netlist.fanout(name):
+            reader_node = netlist.node(reader)
+            if reader_node.is_sequential:
+                continue
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+    if len(order) != len(netlist):
+        stuck = sorted(name for name, deg in indegree.items() if deg > 0)
+        raise CombinationalLoopError(
+            f"combinational loop involving nets: {stuck[:10]}"
+        )
+    return order
+
+
+def dict_combinational_order(netlist: Netlist) -> List[str]:
+    return [
+        name
+        for name in dict_topological_order(netlist)
+        if netlist.node(name).is_combinational
+    ]
+
+
+def dict_levelize(netlist: Netlist) -> Dict[str, int]:
+    levels: Dict[str, int] = {}
+    for name in dict_topological_order(netlist):
+        node = netlist.node(name)
+        if node.is_input or node.is_sequential:
+            levels[name] = 0
+        else:
+            levels[name] = 1 + max((levels[s] for s in node.fanin), default=0)
+    return levels
+
+
+def dict_flip_flop_depths(netlist: Netlist, max_tracked: int = 32) -> Dict[str, int]:
+    cap = max(min(len(netlist.flip_flops), max_tracked), 1)
+    depth: Dict[str, int] = {name: 0 for name in netlist.node_names()}
+    changed = True
+    iterations = 0
+    while changed and iterations <= cap + 1:
+        changed = False
+        iterations += 1
+        for node in netlist:
+            if node.is_input:
+                continue
+            bump = 1 if node.is_sequential else 0
+            new = 0
+            for src in node.fanin:
+                new = max(new, depth.get(src, 0) + bump)
+            new = min(new, cap)
+            if new > depth[node.name]:
+                depth[node.name] = new
+                changed = True
+    return depth
+
+
+def dict_transitive_fanin(netlist: Netlist, roots) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(netlist.node(name).fanin)
+    return seen
+
+
+def dict_transitive_fanout(netlist: Netlist, roots) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(netlist.fanout(name))
+    return seen
+
+
+def dict_combinational_cone(netlist: Netlist, sinks) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(sinks)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = netlist.node(name)
+        if node.is_input or node.is_sequential:
+            continue
+        stack.extend(node.fanin)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# dict-walk path discovery (pre-refactor PathGuide + find_io_path)
+# ----------------------------------------------------------------------
+class DictPathGuide:
+    """The pre-CSR BFS guide: name-keyed distance dictionaries."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.to_startpoint = self._bfs_from_startpoints()
+        self.to_endpoint = self._bfs_to_endpoints()
+
+    def _bfs_from_startpoints(self) -> Dict[str, int]:
+        dist: Dict[str, int] = {}
+        frontier: deque = deque()
+        for node in self.netlist:
+            if node.is_input or node.is_sequential:
+                dist[node.name] = 0
+                frontier.append(node.name)
+        while frontier:
+            name = frontier.popleft()
+            for reader in self.netlist.fanout(name):
+                reader_node = self.netlist.node(reader)
+                if reader_node.is_sequential:
+                    continue
+                if reader not in dist:
+                    dist[reader] = dist[name] + 1
+                    frontier.append(reader)
+        return dist
+
+    def _bfs_to_endpoints(self) -> Dict[str, int]:
+        dist: Dict[str, int] = {}
+        frontier: deque = deque()
+        output_set = set(self.netlist.outputs)
+        for node in self.netlist:
+            feeds_ff = any(
+                self.netlist.node(r).is_sequential
+                for r in self.netlist.fanout(node.name)
+            )
+            if node.name in output_set or feeds_ff:
+                dist[node.name] = 0
+                frontier.append(node.name)
+        while frontier:
+            name = frontier.popleft()
+            for src in self.netlist.node(name).fanin:
+                if self.netlist.node(name).is_sequential:
+                    continue
+                if src not in dist:
+                    dist[src] = dist[name] + 1
+                    frontier.append(src)
+        return dist
+
+
+def dict_find_io_path(
+    netlist: Netlist,
+    through: str,
+    min_flip_flops: int = 2,
+    rng=None,
+    max_steps: int = 50_000,
+    max_flip_flops: int = 10,
+    guide: Optional[DictPathGuide] = None,
+) -> Optional[List[str]]:
+    """The pre-CSR I/O-path DFS (two boundary searches through *through*)."""
+    reachable_ffs = min(max_flip_flops, len(netlist.flip_flops))
+    backward = _dict_dfs_to_boundary(
+        netlist,
+        through,
+        forwards=False,
+        rng=rng,
+        max_steps=max_steps,
+        want_ffs=max(reachable_ffs // 2, min_flip_flops),
+        max_ffs=max_flip_flops,
+        guide=guide,
+    )
+    if backward is None:
+        return None
+    prefix, prefix_ffs = backward
+    forward = _dict_dfs_to_boundary(
+        netlist,
+        through,
+        forwards=True,
+        rng=rng,
+        max_steps=max_steps,
+        avoid=set(prefix[:-1]),
+        want_ffs=max(reachable_ffs - prefix_ffs, min_flip_flops - prefix_ffs),
+        max_ffs=max(max_flip_flops - prefix_ffs, 0),
+        guide=guide,
+    )
+    if forward is None:
+        return None
+    suffix, suffix_ffs = forward
+    if prefix_ffs + suffix_ffs < min_flip_flops:
+        return None
+    return prefix[:-1] + suffix
+
+
+def _dict_dfs_to_boundary(
+    netlist: Netlist,
+    start: str,
+    forwards: bool,
+    rng=None,
+    max_steps: int = 50_000,
+    avoid: Optional[Set[str]] = None,
+    want_ffs: int = 0,
+    max_ffs: int = 10,
+    guide: Optional[DictPathGuide] = None,
+) -> Optional[Tuple[List[str], int]]:
+    avoid = avoid or set()
+    best: Optional[Tuple[List[str], int]] = None
+    steps = 0
+    distances = None
+    if guide is not None:
+        distances = guide.to_endpoint if forwards else guide.to_startpoint
+
+    def neighbours(name: str, budget_left: bool) -> List[str]:
+        if forwards:
+            nxt = netlist.fanout(name)
+        else:
+            nxt = list(netlist.node(name).fanin)
+        if rng is not None:
+            rng.shuffle(nxt)
+
+        def rank(n: str) -> Tuple[int, int]:
+            node = netlist.node(n)
+            ff_rank = 1 if (node.is_sequential and budget_left) else 0
+            closeness = 0
+            if distances is not None:
+                closeness = -distances.get(n, 1 << 20)
+            return (ff_rank, closeness)
+
+        nxt.sort(key=rank)
+        return nxt
+
+    def at_boundary(name: str) -> bool:
+        if forwards:
+            return name in netlist.outputs
+        return netlist.node(name).is_input
+
+    stack: List[Tuple[str, List[str], Set[str], int]] = [
+        (start, [start], {start}, 0)
+    ]
+    while stack:
+        name, path, on_path, n_ffs = stack.pop()
+        steps += 1
+        if steps > max_steps:
+            break
+        if at_boundary(name):
+            candidate = (path, n_ffs)
+            if best is None or n_ffs > best[1]:
+                best = candidate
+            if n_ffs >= want_ffs:
+                break
+            continue
+        budget_left = n_ffs < max_ffs
+        for nxt in neighbours(name, budget_left):
+            if nxt in on_path or nxt in avoid:
+                continue
+            bump = 1 if netlist.node(nxt).is_sequential else 0
+            if bump and not budget_left:
+                continue
+            stack.append((nxt, path + [nxt], on_path | {nxt}, n_ffs + bump))
+    if best is None:
+        return None
+    path, n_ffs = best
+    if not forwards:
+        path = list(reversed(path))
+    return path, n_ffs
+
+
+# ----------------------------------------------------------------------
+# dict-walk STA (pre-refactor TimingAnalyzer.analyze body)
+# ----------------------------------------------------------------------
+def dict_sta(
+    netlist: Netlist, analyzer
+) -> Tuple[float, Tuple[str, ...], Dict[str, float], str]:
+    """The pre-CSR STA loop; *analyzer* supplies ``gate_delay``/libraries.
+
+    Returns ``(max_delay_ns, critical_path, arrival_ns, endpoint)`` exactly
+    as the old ``TimingAnalyzer.analyze`` computed them.
+    """
+    arrival: Dict[str, float] = {}
+    worst_fanin: Dict[str, Optional[str]] = {}
+    order = dict_topological_order(netlist)
+    for name in order:
+        node = netlist.node(name)
+        if node.is_input:
+            arrival[name] = 0.0
+            worst_fanin[name] = None
+        elif node.is_sequential:
+            arrival[name] = analyzer.tech.dff.clk_to_q_ns
+            worst_fanin[name] = None
+        else:
+            best_src, best_arr = None, 0.0
+            for src in node.fanin:
+                src_arr = arrival[src]
+                if best_src is None or src_arr > best_arr:
+                    best_src, best_arr = src, src_arr
+            arrival[name] = best_arr + analyzer.gate_delay(netlist, name)
+            worst_fanin[name] = best_src
+
+    endpoint, max_delay = "", 0.0
+    for po in netlist.outputs:
+        if arrival.get(po, 0.0) > max_delay:
+            endpoint, max_delay = po, arrival[po]
+    for ff in netlist.flip_flops:
+        d_pin = netlist.node(ff).fanin[0]
+        d_arr = arrival.get(d_pin, 0.0) + analyzer.tech.dff.setup_ns
+        if d_arr > max_delay:
+            endpoint, max_delay = d_pin, d_arr
+
+    path: List[str] = []
+    cursor: Optional[str] = endpoint or None
+    while cursor is not None:
+        path.append(cursor)
+        cursor = worst_fanin.get(cursor)
+    path.reverse()
+    return max_delay, tuple(path), arrival, endpoint
+
+
+# ----------------------------------------------------------------------
+# dict-walk dataflow cone extraction (pre-refactor observation points)
+# ----------------------------------------------------------------------
+def dict_observation_points(netlist: Netlist, lut: str) -> List[str]:
+    """Pre-CSR ``repro.dataflow.cones.observation_points_of``."""
+    reach: Set[str] = {lut}
+    stack = [lut]
+    while stack:
+        for dst in netlist.fanout(stack.pop()):
+            if netlist.node(dst).is_sequential:
+                continue
+            if dst not in reach:
+                reach.add(dst)
+                stack.append(dst)
+    output_set = set(netlist.outputs)
+    points = []
+    for name in netlist.node_names():
+        if name not in reach:
+            continue
+        if name in output_set or any(
+            netlist.node(dst).is_sequential for dst in netlist.fanout(name)
+        ):
+            points.append(name)
+    return points
+
+
+# ----------------------------------------------------------------------
+# dict-walk lint traversals (pre-refactor NL105 / NL106 / NL112 cores)
+# ----------------------------------------------------------------------
+def dict_floating_nets(netlist: Netlist) -> List[str]:
+    """Nets NL105 flags: fanout-free internal nets (pre-CSR walk)."""
+    output_set = set(netlist.outputs)
+    found = []
+    for node in netlist:
+        if node.is_input or node.name in output_set:
+            continue
+        if not netlist.fanout(node.name):
+            found.append(node.name)
+    return found
+
+
+def dict_unused_inputs(netlist: Netlist) -> List[str]:
+    """Nets NL106 flags: primary inputs that drive nothing (pre-CSR walk)."""
+    output_set = set(netlist.outputs)
+    found = []
+    for node in netlist:
+        if not node.is_input or node.name in output_set:
+            continue
+        if not netlist.fanout(node.name):
+            found.append(node.name)
+    return found
+
+
+def dict_unreachable_cones(netlist: Netlist) -> List[str]:
+    """Nets NL112 flags: driven nodes reaching no primary output."""
+    if not netlist.outputs:
+        return []
+    reachable: Set[str] = set()
+    stack = [po for po in netlist.outputs if po in netlist]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        stack.extend(
+            src for src in netlist.node(name).fanin if src in netlist
+        )
+    found = []
+    for node in netlist:
+        if node.is_input or node.name in reachable:
+            continue
+        if netlist.fanout(node.name):
+            found.append(node.name)
+    return found
+
+
+# ----------------------------------------------------------------------
+# networkx references (third implementation, built from the netlist —
+# never from the CSR arrays)
+# ----------------------------------------------------------------------
+def nx_graph(netlist: Netlist, cut_flip_flops: bool = False) -> "nx.DiGraph":
+    """An object graph built straight off the ``Node`` dicts."""
+    graph = nx.DiGraph(name=netlist.name)
+    for node in netlist:
+        graph.add_node(node.name, gate_type=node.gate_type)
+    for node in netlist:
+        if cut_flip_flops and node.is_sequential:
+            continue
+        for src in node.fanin:
+            graph.add_edge(src, node.name)
+    return graph
+
+
+def nx_fanin_sets(netlist: Netlist) -> Dict[str, Set[str]]:
+    graph = nx_graph(netlist)
+    return {
+        node.name: set(graph.predecessors(node.name)) for node in netlist
+    }
+
+
+def nx_fanout_sets(netlist: Netlist) -> Dict[str, Set[str]]:
+    graph = nx_graph(netlist)
+    return {
+        node.name: set(graph.successors(node.name)) for node in netlist
+    }
+
+
+def nx_levels(netlist: Netlist) -> Dict[str, int]:
+    """Logic levels over the cut view via networkx longest-path relaxation."""
+    graph = nx_graph(netlist, cut_flip_flops=True)
+    levels: Dict[str, int] = {}
+    for name in nx.topological_sort(graph):
+        node = netlist.node(name) if name in netlist else None
+        preds = list(graph.predecessors(name))
+        if node is not None and (node.is_input or node.is_sequential):
+            levels[name] = 0
+        else:
+            levels[name] = 1 + max((levels[p] for p in preds), default=0)
+    return levels
+
+
+def nx_ancestors(netlist: Netlist, root: str) -> Set[str]:
+    graph = nx_graph(netlist)
+    return set(nx.ancestors(graph, root)) | {root}
+
+
+def nx_descendants(netlist: Netlist, root: str) -> Set[str]:
+    graph = nx_graph(netlist)
+    return set(nx.descendants(graph, root)) | {root}
+
+
+def validate_topological_order(
+    netlist: Netlist, order: Sequence[str]
+) -> List[str]:
+    """Problems with *order* as a topological order of the cut view.
+
+    Returns human-readable violation strings (empty = valid): wrong
+    cardinality, duplicates, or an edge whose reader precedes its driver.
+    """
+    problems: List[str] = []
+    if len(order) != len(netlist):
+        problems.append(
+            f"order has {len(order)} entries for {len(netlist)} nodes"
+        )
+    if len(set(order)) != len(order):
+        problems.append("order contains duplicates")
+    position = {name: i for i, name in enumerate(order)}
+    for node in netlist:
+        if node.is_input or node.is_sequential:
+            continue
+        for src in node.fanin:
+            if src not in position:
+                continue
+            if position[src] >= position.get(node.name, -1):
+                problems.append(
+                    f"edge {src!r} -> {node.name!r} violates the order"
+                )
+    return problems

@@ -19,9 +19,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import List, Tuple
 
-from ..netlist.graph import topological_order
+from ..netlist.csr import csr_view
 from ..netlist.netlist import Netlist
 from ..netlist.transform import extract_cone, immediate_neighbours
 
@@ -52,25 +52,27 @@ def observation_points_of(netlist: Netlist, lut: str) -> List[str]:
     so a net feeding a flip-flop is itself a point of observation.
     Order follows the netlist's node order (deterministic).
     """
-    reach: Set[str] = {lut}
-    stack = [lut]
-    while stack:
-        for dst in netlist.fanout(stack.pop()):
-            if netlist.node(dst).is_sequential:
-                continue  # the D-pin *net* is the observation point
-            if dst not in reach:
-                reach.add(dst)
-                stack.append(dst)
-    output_set = set(netlist.outputs)
-    points = []
-    for name in netlist.node_names():
-        if name not in reach:
-            continue
-        if name in output_set or any(
-            netlist.node(dst).is_sequential for dst in netlist.fanout(name)
-        ):
-            points.append(name)
-    return points
+    view = csr_view(netlist)
+    root = view.index.get(lut)
+    if root is not None:
+        roots = [root]
+    else:
+        # A dangling name still has readers; its combinational fan-out is
+        # theirs (the name-based walk consulted the fan-out map directly,
+        # which keeps entries for missing drivers).
+        roots = [
+            reader
+            for (reader, _pin), src in sorted(view.dangling.items())
+            if src == lut and not view.is_seq[reader]
+        ]
+        if not roots:
+            return []
+    reached = view.forward_ids(roots, enter_sequential=False)
+    is_po, feeds_ff = view.is_po, view.feeds_ff
+    names = view.names
+    return [
+        names[i] for i in sorted(reached) if is_po[i] or feeds_ff[i]
+    ]
 
 
 def extract_key_cone(netlist: Netlist, lut: str) -> KeyCone:
@@ -105,23 +107,30 @@ def cone_signature(cone: Netlist, lut: str) -> str:
     mean the cones are isomorphic *including* input/output order, so an
     analysis result transfers positionally from one to the other.
     """
-    order = topological_order(cone)
-    position: Dict[str, int] = {name: i for i, name in enumerate(order)}
+    view = csr_view(cone)
+    order = view.topo_order()
+    position = [0] * view.n
+    for pos, i in enumerate(order):
+        position[i] = pos
+    gate_types, names = view.gate_types, view.names
+    fi_ptr, fi_idx = view.fanin_ptr, view.fanin_idx
     nodes: List[Tuple] = []
-    for name in order:
-        node = cone.node(name)
+    for i in order:
         nodes.append(
             (
-                node.gate_type.value,
-                [position[src] for src in node.fanin],
-                node.lut_config is not None,
+                gate_types[i].value,
+                [position[fi_idx[k]] for k in range(fi_ptr[i], fi_ptr[i + 1])],
+                # Configuration presence is function data, not structure —
+                # read it from the netlist so a config rewrite (which does
+                # not bump structure_revision) can never serve stale bits.
+                cone.node(names[i]).lut_config is not None,
             )
         )
     payload = {
         "nodes": nodes,
-        "inputs": [position[name] for name in cone.inputs],
-        "outputs": [position[name] for name in cone.outputs],
-        "lut": position[lut],
+        "inputs": [position[view.id_of(name)] for name in cone.inputs],
+        "outputs": [position[view.id_of(name)] for name in cone.outputs],
+        "lut": position[view.id_of(lut)],
     }
     blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -7,8 +7,9 @@ exactly this category and converts findings back to legacy ``Issue`` objects.
 
 from __future__ import annotations
 
-from typing import Iterator, Set
+from typing import Iterator
 
+from ..netlist.csr import csr_view
 from ..netlist.gates import max_arity, min_arity
 from ..netlist.graph import CombinationalLoopError, topological_order
 from .core import Category, Finding, LintContext, Rule, Severity, register
@@ -120,15 +121,15 @@ class FloatingNet(Rule):
     autofix = "run repro.netlist.simplify.sweep() or declare it an output"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        netlist = ctx.netlist
-        output_set = set(netlist.outputs)
-        for node in netlist:
-            if node.is_input or node.name in output_set:
+        view = csr_view(ctx.netlist)
+        names = view.names
+        for i in range(view.n):
+            if view.is_input[i] or view.is_po[i]:
                 continue
-            if not netlist.fanout(node.name):
+            if not view.fanout_degree(i):
                 yield self.finding(
-                    f"net {node.name!r} has no fan-out and is not an output",
-                    net=node.name,
+                    f"net {names[i]!r} has no fan-out and is not an output",
+                    net=names[i],
                 )
 
 
@@ -146,15 +147,15 @@ class UnusedInput(Rule):
     autofix = "remove the input or connect it"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        netlist = ctx.netlist
-        output_set = set(netlist.outputs)
-        for node in netlist:
-            if not node.is_input or node.name in output_set:
+        view = csr_view(ctx.netlist)
+        names = view.names
+        for i in range(view.n):
+            if not view.is_input[i] or view.is_po[i]:
                 continue
-            if not netlist.fanout(node.name):
+            if not view.fanout_degree(i):
                 yield self.finding(
-                    f"primary input {node.name!r} drives nothing",
-                    net=node.name,
+                    f"primary input {names[i]!r} drives nothing",
+                    net=names[i],
                 )
 
 
@@ -289,22 +290,15 @@ class UnreachableCone(Rule):
             return  # NL110 owns this case
         # Backwards reachability from the outputs, tolerant of undriven
         # references (those are NL101's findings, not crashes here).
-        reachable: Set[str] = set()
-        stack = [po for po in netlist.outputs if po in netlist]
-        while stack:
-            name = stack.pop()
-            if name in reachable:
+        view = csr_view(netlist)
+        reachable = view.backward_reach(view.output_ids)
+        names, gate_types = view.names, view.gate_types
+        for i in range(view.n):
+            if view.is_input[i] or reachable[i]:
                 continue
-            reachable.add(name)
-            stack.extend(
-                src for src in netlist.node(name).fanin if src in netlist
-            )
-        for node in netlist:
-            if node.is_input or node.name in reachable:
-                continue
-            if netlist.fanout(node.name):
+            if view.fanout_degree(i):
                 yield self.finding(
-                    f"{node.gate_type.value} node {node.name!r} reaches no "
+                    f"{gate_types[i].value} node {names[i]!r} reaches no "
                     "primary output (dead logic cone)",
-                    net=node.name,
+                    net=names[i],
                 )

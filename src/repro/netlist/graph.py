@@ -7,21 +7,45 @@ Two views of the same netlist matter to the paper's algorithms:
 * the **sequential view**, in which DFFs are pass-through nodes — used to
   find primary-input→primary-output *I/O paths* and to count the flip-flops
   a path crosses (the paper's circuit depth ``D``).
+
+Every traversal here runs over the int-indexed flat-array snapshot from
+:mod:`repro.netlist.csr` (one shared :class:`~repro.netlist.csr.CsrView`
+per structure revision); this module keeps the historical name-based API
+on top.  The networkx ``DiGraph`` remains available via
+:func:`to_networkx` as a *compatibility/debug view* — it is built from
+the CSR arrays, frozen, and is the only sanctioned place to hand a
+netlist to networkx (ruff TID251 bans the import elsewhere).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from .cache import memoized
+from .csr import MAX_TRACKED_FF_DEPTH, CombinationalLoopError, CsrView, csr_view
 from .netlist import Netlist, NetlistError
 
-
-class CombinationalLoopError(NetlistError):
-    """Raised when the combinational view of a netlist contains a cycle."""
+__all__ = [
+    "CombinationalLoopError",
+    "MAX_TRACKED_FF_DEPTH",
+    "PathGuide",
+    "combinational_cone",
+    "combinational_gates_on",
+    "combinational_order",
+    "find_io_path",
+    "flip_flop_depths",
+    "levelize",
+    "logic_depth",
+    "reachable_between",
+    "sequential_depth",
+    "split_into_timing_paths",
+    "to_networkx",
+    "topological_order",
+    "transitive_fanin",
+    "transitive_fanout",
+]
 
 
 def to_networkx(
@@ -32,8 +56,10 @@ def to_networkx(
 
     Edges run driver → reader.  With ``cut_flip_flops=True`` the edges into
     DFF D-pins are dropped, yielding the acyclic combinational view.  The
-    returned graph is a shared cached view — treat it as read-only, or pass
-    ``copy=True`` for a private mutable copy.
+    returned graph is a shared cached view and is **frozen**
+    (:func:`networkx.freeze`) — mutating it would silently poison the memo
+    for every later reader, so mutation raises; pass ``copy=True`` for a
+    private mutable copy.
     """
     key = "nx_cut" if cut_flip_flops else "nx_full"
     compute = _build_networkx_cut if cut_flip_flops else _build_networkx_full
@@ -50,15 +76,23 @@ def _build_networkx_cut(netlist: Netlist) -> nx.DiGraph:
 
 
 def _build_networkx(netlist: Netlist, cut_flip_flops: bool) -> nx.DiGraph:
+    view = csr_view(netlist)
+    names = view.names
     graph = nx.DiGraph(name=netlist.name)
-    for node in netlist:
-        graph.add_node(node.name, gate_type=node.gate_type)
-    for node in netlist:
-        if cut_flip_flops and node.is_sequential:
+    for i in range(view.n):
+        graph.add_node(names[i], gate_type=view.gate_types[i])
+    fi_ptr, fi_idx = view.fanin_ptr, view.fanin_idx
+    for i in range(view.n):
+        if cut_flip_flops and view.is_seq[i]:
             continue
-        for src in node.fanin:
-            graph.add_edge(src, node.name)
-    return graph
+        base = fi_ptr[i]
+        for k in range(base, fi_ptr[i + 1]):
+            j = fi_idx[k]
+            # Dangling references become attribute-less nodes, exactly as
+            # ``add_edge`` used to create them from the name-based walk.
+            src = names[j] if j >= 0 else view.dangling[(i, k - base)]
+            graph.add_edge(src, names[i])
+    return nx.freeze(graph)
 
 
 def topological_order(netlist: Netlist) -> List[str]:
@@ -79,40 +113,14 @@ def combinational_order(netlist: Netlist) -> List[str]:
     return memoized(netlist, "comb_order", _compute_combinational_order)
 
 
-def _compute_combinational_order(netlist: Netlist) -> List[str]:
-    return [
-        name
-        for name in topological_order(netlist)
-        if netlist.node(name).is_combinational
-    ]
-
-
 def _compute_topological_order(netlist: Netlist) -> List[str]:
-    indegree: Dict[str, int] = {}
-    for node in netlist:
-        if node.is_input or node.is_sequential:
-            indegree[node.name] = 0
-        else:
-            # Unique drivers only: a net read on two pins is one edge.
-            indegree[node.name] = len(set(node.fanin))
-    ready = deque(name for name, deg in indegree.items() if deg == 0)
-    order: List[str] = []
-    while ready:
-        name = ready.popleft()
-        order.append(name)
-        for reader in netlist.fanout(name):
-            reader_node = netlist.node(reader)
-            if reader_node.is_sequential:
-                continue
-            indegree[reader] -= 1
-            if indegree[reader] == 0:
-                ready.append(reader)
-    if len(order) != len(netlist):
-        stuck = sorted(name for name, deg in indegree.items() if deg > 0)
-        raise CombinationalLoopError(
-            f"combinational loop involving nets: {stuck[:10]}"
-        )
-    return order
+    view = csr_view(netlist)
+    return view.names_of(view.topo_order())
+
+
+def _compute_combinational_order(netlist: Netlist) -> List[str]:
+    view = csr_view(netlist)
+    return view.names_of(view.comb_order())
 
 
 def levelize(netlist: Netlist) -> Dict[str, int]:
@@ -123,20 +131,16 @@ def levelize(netlist: Netlist) -> Dict[str, int]:
 
 
 def _compute_levels(netlist: Netlist) -> Dict[str, int]:
-    levels: Dict[str, int] = {}
-    for name in topological_order(netlist):
-        node = netlist.node(name)
-        if node.is_input or node.is_sequential:
-            levels[name] = 0
-        else:
-            levels[name] = 1 + max((levels[s] for s in node.fanin), default=0)
-    return levels
+    view = csr_view(netlist)
+    lv = view.levels()
+    names = view.names
+    return {names[i]: lv[i] for i in view.topo_order()}
 
 
 def logic_depth(netlist: Netlist) -> int:
     """Maximum combinational logic level in the design."""
-    levels = levelize(netlist)
-    return max(levels.values(), default=0)
+    levels = csr_view(netlist).levels()
+    return max(levels, default=0)
 
 
 def sequential_depth(netlist: Netlist) -> int:
@@ -148,19 +152,13 @@ def sequential_depth(netlist: Netlist) -> int:
     crossings.  Cyclic FF-to-FF feedback (common in controllers) is handled
     by bounding the count at the number of flip-flops.
     """
-    ff_depths = flip_flop_depths(netlist)
+    view = csr_view(netlist)
+    depth = view.ff_depths()
     best = 0
-    for po in netlist.outputs:
-        best = max(best, ff_depths.get(po, 0))
+    for i in view.output_ids:
+        if depth[i] > best:
+            best = depth[i]
     return best
-
-
-#: Saturation point for flip-flop-depth relaxation.  Simple paths can cross
-#: at most every register once, but chasing that bound costs O(|FF|·|V|) and
-#: depths beyond a few dozen add nothing to the security metrics (they only
-#: scale the already-astronomical clock counts linearly), so relaxation
-#: saturates here.
-MAX_TRACKED_FF_DEPTH = 32
 
 
 def flip_flop_depths(netlist: Netlist) -> Dict[str, int]:
@@ -170,74 +168,121 @@ def flip_flop_depths(netlist: Netlist) -> Dict[str, int]:
     Uses iterative relaxation over the sequential view; values (and hence
     iteration count) saturate at :data:`MAX_TRACKED_FF_DEPTH`.
     """
-    cap = max(min(len(netlist.flip_flops), MAX_TRACKED_FF_DEPTH), 1)
-    depth: Dict[str, int] = {name: 0 for name in netlist.node_names()}
-    changed = True
-    iterations = 0
-    while changed and iterations <= cap + 1:
-        changed = False
-        iterations += 1
-        for node in netlist:
-            if node.is_input:
-                continue
-            bump = 1 if node.is_sequential else 0
-            new = 0
-            for src in node.fanin:
-                new = max(new, depth.get(src, 0) + bump)
-            new = min(new, cap)
-            if new > depth[node.name]:
-                depth[node.name] = new
-                changed = True
-    return depth
+    view = csr_view(netlist)
+    depth = view.ff_depths()
+    names = view.names
+    return {names[i]: depth[i] for i in range(view.n)}
 
 
 def transitive_fanin(netlist: Netlist, roots: Iterable[str]) -> Set[str]:
     """All nets reachable backwards from *roots* (crossing flip-flops),
     including the roots."""
-    seen: Set[str] = set()
-    stack = list(roots)
+    view = csr_view(netlist)
+    visited = bytearray(view.n)
+    reached: List[int] = []
+    for name in roots:
+        i = view.id_of(name)
+        if not visited[i]:
+            visited[i] = 1
+            reached.append(i)
+    fi_ptr, fi_idx = view.fanin_ptr, view.fanin_idx
+    stack = reached[:]
+    pop = stack.pop
+    push = stack.append
+    collect = reached.append
     while stack:
-        name = stack.pop()
-        if name in seen:
-            continue
-        seen.add(name)
-        stack.extend(netlist.node(name).fanin)
-    return seen
+        i = pop()
+        pins = fi_idx[fi_ptr[i] : fi_ptr[i + 1]]
+        for j in pins:
+            if j < 0:
+                raise NetlistError(
+                    f"no net named {view.dangling[(i, pins.index(-1))]!r}"
+                )
+            if not visited[j]:
+                visited[j] = 1
+                collect(j)
+                push(j)
+    return set(map(view.names.__getitem__, reached))
 
 
 def transitive_fanout(netlist: Netlist, roots: Iterable[str]) -> Set[str]:
     """All nets reachable forwards from *roots* (crossing flip-flops),
     including the roots."""
-    seen: Set[str] = set()
-    stack = list(roots)
+    view = csr_view(netlist)
+    visited = bytearray(view.n)
+    reached: List[int] = []
+    extra: Set[str] = set()
+    for name in roots:
+        i = view.index.get(name)
+        if i is None:
+            # Unknown (possibly dangling) root names still contribute
+            # themselves and — if anything reads them — their readers.
+            extra.add(name)
+        elif not visited[i]:
+            visited[i] = 1
+            reached.append(i)
+    if extra:
+        for (reader, _pin), src in view.dangling.items():
+            if src in extra and not visited[reader]:
+                visited[reader] = 1
+                reached.append(reader)
+    fo_ptr, fo_idx = view.fanout_ptr, view.fanout_idx
+    stack = reached[:]
+    pop = stack.pop
+    push = stack.append
+    collect = reached.append
     while stack:
-        name = stack.pop()
-        if name in seen:
-            continue
-        seen.add(name)
-        stack.extend(netlist.fanout(name))
-    return seen
+        i = pop()
+        for r in fo_idx[fo_ptr[i] : fo_ptr[i + 1]]:
+            if not visited[r]:
+                visited[r] = 1
+                collect(r)
+                push(r)
+    names = set(map(view.names.__getitem__, reached))
+    return names | extra if extra else names
 
 
 def combinational_cone(netlist: Netlist, sinks: Iterable[str]) -> Set[str]:
     """Backwards cone of *sinks* stopping at (and including) startpoints."""
-    seen: Set[str] = set()
-    stack = list(sinks)
+    view = csr_view(netlist)
+    visited = bytearray(view.n)
+    reached: List[int] = []
+    for name in sinks:
+        i = view.id_of(name)
+        if not visited[i]:
+            visited[i] = 1
+            reached.append(i)
+    is_input, is_seq = view.is_input, view.is_seq
+    fi_ptr, fi_idx = view.fanin_ptr, view.fanin_idx
+    stack = reached[:]
+    pop = stack.pop
+    push = stack.append
+    collect = reached.append
     while stack:
-        name = stack.pop()
-        if name in seen:
+        i = pop()
+        if is_input[i] or is_seq[i]:
             continue
-        seen.add(name)
-        node = netlist.node(name)
-        if node.is_input or node.is_sequential:
-            continue
-        stack.extend(node.fanin)
-    return seen
+        pins = fi_idx[fi_ptr[i] : fi_ptr[i + 1]]
+        for j in pins:
+            if j < 0:
+                raise NetlistError(
+                    f"no net named {view.dangling[(i, pins.index(-1))]!r}"
+                )
+            if not visited[j]:
+                visited[j] = 1
+                collect(j)
+                push(j)
+    return set(map(view.names.__getitem__, reached))
 
 
 def reachable_between(netlist: Netlist, source: str, sink: str) -> bool:
     """True if *sink* is in the transitive fan-out of *source*."""
-    return sink in transitive_fanout(netlist, [source])
+    view = csr_view(netlist)
+    src = view.index.get(source)
+    dst = view.index.get(sink)
+    if src is None or dst is None:
+        return sink in transitive_fanout(netlist, [source])
+    return view.reachable(src, dst)
 
 
 class PathGuide:
@@ -249,52 +294,58 @@ class PathGuide:
     D-pin).  The DFS prefers small distances, so the timing segments of the
     discovered I/O paths stay near-shortest — which is what makes the deep
     register paths of the paper *non-critical*.
+
+    Distances are int arrays on the CSR view; the name-keyed dict
+    properties are built lazily for callers that still index by net name.
     """
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
-        self.to_startpoint = self._bfs_from_startpoints()
-        self.to_endpoint = self._bfs_to_endpoints()
+        self.view: CsrView = csr_view(netlist)
+        self._start = self.view.startpoint_dist()
+        self._end = self.view.endpoint_dist()
+        self._to_startpoint: Optional[Dict[str, int]] = None
+        self._to_endpoint: Optional[Dict[str, int]] = None
+        self._keys_fwd: Optional[Tuple[List[int], List[int]]] = None
+        self._keys_bwd: Optional[Tuple[List[int], List[int]]] = None
 
-    def _bfs_from_startpoints(self) -> Dict[str, int]:
-        dist: Dict[str, int] = {}
-        frontier = deque()
-        for node in self.netlist:
-            if node.is_input or node.is_sequential:
-                dist[node.name] = 0
-                frontier.append(node.name)
-        while frontier:
-            name = frontier.popleft()
-            for reader in self.netlist.fanout(name):
-                reader_node = self.netlist.node(reader)
-                if reader_node.is_sequential:
-                    continue
-                if reader not in dist:
-                    dist[reader] = dist[name] + 1
-                    frontier.append(reader)
-        return dist
+    def _packed_keys(self, forwards: bool) -> Tuple[List[int], List[int]]:
+        """Per-node packed sort keys for the path DFS, cached per
+        direction: ``(with_ff_preference, without)``.  Packing
+        ``ff_rank * SEQ_RANK + closeness`` into one int keeps the ordering
+        of the historical ``(ff_rank, closeness)`` tuples while letting
+        the DFS sort with a C-speed ``list.__getitem__`` key."""
+        cached = self._keys_fwd if forwards else self._keys_bwd
+        if cached is None:
+            dist = self._end if forwards else self._start
+            plain = [-d if d >= 0 else -(1 << 20) for d in dist]
+            budget = [
+                sr + c for sr, c in zip(self.view.seq_rank(), plain)
+            ]
+            cached = (budget, plain)
+            if forwards:
+                self._keys_fwd = cached
+            else:
+                self._keys_bwd = cached
+        return cached
 
-    def _bfs_to_endpoints(self) -> Dict[str, int]:
-        dist: Dict[str, int] = {}
-        frontier = deque()
-        output_set = set(self.netlist.outputs)
-        for node in self.netlist:
-            feeds_ff = any(
-                self.netlist.node(r).is_sequential
-                for r in self.netlist.fanout(node.name)
-            )
-            if node.name in output_set or feeds_ff:
-                dist[node.name] = 0
-                frontier.append(node.name)
-        while frontier:
-            name = frontier.popleft()
-            for src in self.netlist.node(name).fanin:
-                if self.netlist.node(name).is_sequential:
-                    continue
-                if src not in dist:
-                    dist[src] = dist[name] + 1
-                    frontier.append(src)
-        return dist
+    @property
+    def to_startpoint(self) -> Dict[str, int]:
+        if self._to_startpoint is None:
+            names = self.view.names
+            self._to_startpoint = {
+                names[i]: d for i, d in enumerate(self._start) if d >= 0
+            }
+        return self._to_startpoint
+
+    @property
+    def to_endpoint(self) -> Dict[str, int]:
+        if self._to_endpoint is None:
+            names = self.view.names
+            self._to_endpoint = {
+                names[i]: d for i, d in enumerate(self._end) if d >= 0
+            }
+        return self._to_endpoint
 
 
 def find_io_path(
@@ -322,7 +373,7 @@ def find_io_path(
     # Hunt for *deep* paths (the paper sorts by depth and its algorithms
     # consume the deepest): aim for the cap, settle for what the structure
     # offers, and reject only below the minimum.
-    reachable_ffs = min(max_flip_flops, len(netlist.flip_flops))
+    reachable_ffs = min(max_flip_flops, csr_view(netlist).n_flip_flops)
     backward = _dfs_to_boundary(
         netlist,
         through,
@@ -371,70 +422,139 @@ def _dfs_to_boundary(
 
     Returns ``(path, n_ffs)``; the path is ordered PI→…→PO direction in both
     modes (i.e. reversed for the backwards search), and includes *start*.
+
+    Runs entirely over int node ids.  Neighbour candidate order (name-sorted
+    fan-out / pin-order fan-in), rng shuffle consumption, and the stable
+    preference sort are identical to the historical name-based walk, so the
+    same ``rng`` selects the same paths.
     """
-    avoid = avoid or set()
-    best: Optional[Tuple[List[str], int]] = None
-    steps = 0
+    view = csr_view(netlist)
+    start_id = view.id_of(start)
+    avoid_ids = bytearray(view.n)
+    if avoid:
+        for name in avoid:
+            j = view.index.get(name)
+            if j is not None:
+                avoid_ids[j] = 1
+    is_seq = view.is_seq
+    boundary = view.is_po if forwards else view.is_input
+    if forwards:
+        adj_ptr, adj_idx = view.fanout_ptr, view.fanout_idx
+    else:
+        adj_ptr, adj_idx = view.fanin_ptr, view.fanin_idx
+    # Neighbour preference is a stable ascending sort by (ff_rank,
+    # closeness) after the rng shuffle — the stack pops from the end, so
+    # the best candidate sorts last.  With no dangling references the
+    # tuple ranks collapse to precomputed packed-int key lists and the
+    # sort key is a C-speed ``list.__getitem__``; the closure fallback
+    # keeps dangling fan-in (-1 ids) ranked exactly like the historical
+    # name-based walk ranked missing nets.
+    clean = not view.dangling
     distances = None
+    keys_budget = keys_plain = None
     if guide is not None:
-        distances = guide.to_endpoint if forwards else guide.to_startpoint
+        distances = guide._end if forwards else guide._start
+        keys_budget, keys_plain = guide._packed_keys(forwards)
+    seq_keys = view.seq_rank()
 
-    def neighbours(name: str, budget_left: bool) -> List[str]:
-        if forwards:
-            nxt = netlist.fanout(name)
-        else:
-            nxt = list(netlist.node(name).fanin)
-        if rng is not None:
-            rng.shuffle(nxt)
-        # The DFS stack pops from the end, so sort ascending in preference:
-        # best candidates last.  Prefer flip-flops (register-deep paths with
-        # short combinational segments) while the FF budget lasts, then nets
-        # close to the boundary per the guide.
-        def rank(n: str) -> Tuple[int, int]:
-            node = netlist.node(n)
-            ff_rank = 1 if (node.is_sequential and budget_left) else 0
-            closeness = 0
-            if distances is not None:
-                closeness = -distances.get(n, 1 << 20)
-            return (ff_rank, closeness)
+    def rank_dirty(j: int) -> Tuple[int, int]:
+        ff_rank = 1 if (j >= 0 and is_seq[j] and _budget[0]) else 0
+        closeness = 0
+        if distances is not None:
+            d = distances[j] if j >= 0 else -1
+            closeness = -d if d >= 0 else -(1 << 20)
+        return (ff_rank, closeness)
 
-        nxt.sort(key=rank)
+    _budget = [True]
+    shuffle = rng.shuffle if rng is not None else None
+
+    def expand(i: int, budget_left: bool) -> List[int]:
+        nxt = adj_idx[adj_ptr[i] : adj_ptr[i + 1]]
+        if shuffle is not None:
+            shuffle(nxt)
+        if len(nxt) > 1:
+            if clean:
+                if distances is not None:
+                    key = keys_budget if budget_left else keys_plain
+                    nxt.sort(key=key.__getitem__)
+                elif budget_left:
+                    nxt.sort(key=seq_keys.__getitem__)
+                # else: every rank is (0, 0) — the stable sort is a no-op
+            else:
+                _budget[0] = budget_left
+                nxt.sort(key=rank_dirty)
         return nxt
 
-    def at_boundary(name: str) -> bool:
-        if forwards:
-            return name in netlist.outputs
-        return netlist.node(name).is_input
-
-    stack: List[Tuple[str, List[str], Set[str], int]] = [
-        (start, [start], {start}, 0)
-    ]
-    while stack:
-        name, path, on_path, n_ffs = stack.pop()
-        steps += 1
-        if steps > max_steps:
-            break
-        if at_boundary(name):
-            candidate = (path, n_ffs)
-            if best is None or n_ffs > best[1]:
-                best = candidate
-            if n_ffs >= want_ffs:
+    # Backtracking DFS.  States are visited in exactly the order the
+    # historical snapshot-copying stack popped them (children expand
+    # best-last, so the traversal walks each node's most preferred
+    # subtree to exhaustion before its next sibling), but the current
+    # path/on-path/FF-count are maintained incrementally — no O(depth)
+    # list and set copies per step.
+    best: Optional[List[int]] = None
+    best_ffs = -1
+    steps = 1
+    if boundary[start_id]:
+        best, best_ffs = [start_id], 0
+    else:
+        path: List[int] = [start_id]
+        on_path: Set[int] = {start_id}
+        ffs = 0
+        kids = expand(start_id, 0 < max_ffs)
+        # frame = [children (ascending preference), next index from the end]
+        frames: List[List] = [[kids, len(kids) - 1]]
+        stop = False
+        while frames:
+            frame = frames[-1]
+            kids, ptr = frame
+            descended = False
+            while ptr >= 0:
+                j = kids[ptr]
+                ptr -= 1
+                if j < 0 or j in on_path or avoid_ids[j]:
+                    continue
+                bump = is_seq[j]
+                if bump and ffs >= max_ffs:
+                    continue
+                frame[1] = ptr
+                steps += 1
+                if steps > max_steps:
+                    stop = True
+                    break
+                if boundary[j]:
+                    nf = ffs + 1 if bump else ffs
+                    if best is None or nf > best_ffs:
+                        best = path + [j]
+                        best_ffs = nf
+                    if nf >= want_ffs:
+                        stop = True
+                        break
+                    continue
+                path.append(j)
+                on_path.add(j)
+                if bump:
+                    ffs += 1
+                kids = expand(j, ffs < max_ffs)
+                frames.append([kids, len(kids) - 1])
+                descended = True
                 break
-            continue
-        budget_left = n_ffs < max_ffs
-        for nxt in neighbours(name, budget_left):
-            if nxt in on_path or nxt in avoid:
+            if stop:
+                break
+            if descended:
                 continue
-            bump = 1 if netlist.node(nxt).is_sequential else 0
-            if bump and not budget_left:
-                continue
-            stack.append((nxt, path + [nxt], on_path | {nxt}, n_ffs + bump))
+            frame[1] = ptr
+            frames.pop()
+            if frames:
+                left = path.pop()
+                on_path.discard(left)
+                if is_seq[left]:
+                    ffs -= 1
     if best is None:
         return None
-    path, n_ffs = best
+    ids, n_ffs = best, best_ffs
     if not forwards:
-        path = list(reversed(path))
-    return path, n_ffs
+        ids = list(reversed(ids))
+    return view.names_of(ids), n_ffs
 
 
 def split_into_timing_paths(netlist: Netlist, io_path: Sequence[str]) -> List[List[str]]:
@@ -445,12 +565,13 @@ def split_into_timing_paths(netlist: Netlist, io_path: Sequence[str]) -> List[Li
     combinational gates; segment boundaries (PI/DFF endpoints) are included
     so callers can identify launch/capture points.
     """
+    view = csr_view(netlist)
+    is_seq = view.is_seq
     segments: List[List[str]] = []
     current: List[str] = []
     for name in io_path:
-        node = netlist.node(name)
         current.append(name)
-        if node.is_sequential and len(current) > 1:
+        if is_seq[view.id_of(name)] and len(current) > 1:
             segments.append(current)
             current = [name]
     if len(current) > 1:
@@ -460,8 +581,6 @@ def split_into_timing_paths(netlist: Netlist, io_path: Sequence[str]) -> List[Li
 
 def combinational_gates_on(netlist: Netlist, path: Sequence[str]) -> List[str]:
     """The combinational gate/LUT nets on a path (endpoints filtered out)."""
-    return [
-        name
-        for name in path
-        if netlist.node(name).is_combinational
-    ]
+    view = csr_view(netlist)
+    is_comb = view.is_comb
+    return [name for name in path if is_comb[view.id_of(name)]]

@@ -53,6 +53,7 @@ from __future__ import annotations
 import weakref
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..netlist.csr import csr_view
 from ..netlist.gates import GateType, truth_table_to_type
 from ..netlist.graph import combinational_order
 from ..netlist.netlist import Netlist, NetlistError, Node
@@ -260,9 +261,11 @@ class CompiledProgram:
     def __init__(self, netlist: Netlist, force_dynamic: bool = False):
         self.function_revision = netlist.function_revision
         self.force_dynamic = force_dynamic
+        view = csr_view(netlist)
         self._order = combinational_order(netlist)
-        self._pis = list(netlist.inputs)
-        self._ffs = list(netlist.flip_flops)
+        names = view.names
+        self._pis = [names[i] for i in range(view.n) if view.is_input[i]]
+        self._ffs = [names[i] for i in range(view.n) if view.is_seq[i]]
         self._var: Dict[str, str] = {}
         for i, name in enumerate(self._pis + self._ffs + self._order):
             self._var[name] = f"_v{i}"

@@ -49,6 +49,9 @@ class TestRegistry:
             "lock-unlock-roundtrip",
             "keybatch-lane-parity",
             "keybatch-brute-parity",
+            "graph-structure-parity",
+            "graph-sta-path-parity",
+            "graph-lint-dataflow-parity",
         } <= set(names)
         assert set(families()) == {
             "sim",
@@ -58,6 +61,7 @@ class TestRegistry:
             "dataflow",
             "metamorphic",
             "keybatch",
+            "graph",
         }
 
     def test_resolve_by_name_and_family(self):
