@@ -1,0 +1,228 @@
+"""SAT-attack throughput: the CDCL/incremental engine vs the pre-overhaul path.
+
+The solver overhaul replaced the O(num_vars) branch scan, dict-of-lists
+watch maps and per-conflict bookkeeping of ``repro.sat.solver`` with a
+VSIDS activity heap, flat literal-indexed watch lists with blocker
+literals, recursive learned-clause minimization and LBD-aware clause-DB
+reduction — and made the SAT attack incremental: one solver per attack,
+an activation-literal-gated miter, and key extraction under a final
+assumption-based solve on the *live* solver instead of a fresh
+encoder+solver rebuild.  The pre-overhaul solver and attack loop are
+preserved verbatim in :mod:`repro.check.reference_sat` (they are the
+differential baseline of the ``sat-incremental-extract`` check, which
+proves keys and oracle bills identical), so this bench races the exact
+code the attack used to run:
+
+* **rounds** — the DI search: find a distinguishing input, query the
+  oracle once, constrain both key copies, repeat until UNSAT.  Both
+  sides run their own complete search against identical locked designs;
+  times are normalized *per solved round* (iterations + the final UNSAT
+  proof) because the two searches may need different DI counts.  The
+  new side's extraction time (its ``attack.sat.extract`` span) is
+  excluded from its rounds figure.
+* **extract** — key extraction from the accumulated DI constraints:
+  live-solver lex-min extraction (the span above) vs the preserved
+  fresh-rebuild on the *same* constraints.
+
+Both sides must produce bit-identical keys (asserted here per circuit;
+the check family proves it continuously).
+
+Writes ``BENCH_sat.json``.  The headline number is the geomean of the
+per-circuit **rounds** speedups over the at-scale circuits
+(≥ ``_AT_SCALE_GATES`` gates — the large ISCAS'89 benchmarks); it must
+stay above ``TARGET_SPEEDUP``.
+
+The default suite stops at ``_DEFAULT_MAX_GATES`` gates: the reference
+side is a complete pre-overhaul SAT attack whose per-decision cost is
+O(num_vars) on a miter that grows by a full circuit copy per DI round,
+so the bigger ISCAS'89 circuits cost it hours each.  Quick mode:
+``REPRO_BENCH_MAX_GATES=500`` runs only the small circuits as a smoke
+test (no at-scale circuits → the speedup floor is not asserted;
+small-circuit ratios are dominated by fixed overheads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.attacks.oracle import ConfiguredOracle
+from repro.attacks.sat_attack import SatAttack
+from repro.check.checks_attacks import _lock_small
+from repro.check.reference_sat import (
+    reference_attack_rounds,
+    reference_extract_key,
+)
+from repro.circuits import benchmark_suite
+from repro.lut.mapping import HybridMapper
+from repro.obs import Recorder, use_recorder
+
+pytestmark = pytest.mark.bench
+
+#: Minimum geomean per-round speedup (incremental CDCL over the
+#: pre-overhaul path) across the at-scale circuits.
+TARGET_SPEEDUP = 5.0
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sat.json"
+
+#: Circuits at or above this gate count form the headline geomean.
+_AT_SCALE_GATES = 2000
+
+#: Default suite cap (overridable via REPRO_BENCH_MAX_GATES): includes
+#: the at-scale s5378a (where one pre-overhaul DI search already costs
+#: minutes); the next circuit up, s9234a, costs the reference side the
+#: better part of an hour.
+_DEFAULT_MAX_GATES = 3000
+
+#: LUTs locked per circuit (matches the check family's tiny locks: the
+#: DI search stays short, so the race measures solver rounds, not an
+#: exponential key space).
+_N_LUTS = 2
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def test_sat_throughput():
+    max_gates = int(
+        os.environ.get("REPRO_BENCH_MAX_GATES", str(_DEFAULT_MAX_GATES))
+    )
+    circuits = benchmark_suite(seed=2016, max_gates=max_gates)
+    report: Dict[str, Dict] = {}
+
+    for netlist in circuits:
+        rng = random.Random(2016)
+        hybrid = _lock_small(netlist, rng, n_luts=_N_LUTS)
+        if hybrid is None:
+            continue
+        foundry = HybridMapper().strip_configs(hybrid)
+        print(
+            f"[sat-bench] {netlist.name} ({len(netlist.gates)} gates, "
+            f"{len(foundry.luts)} locked LUTs)...",
+            file=sys.stderr,
+            flush=True,
+        )
+
+        # New side: one full incremental attack.  Wall clock for the whole
+        # run; the recorder splits out the extraction span so the rounds
+        # figure is the DI search alone.
+        recorder = Recorder()
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        start = time.perf_counter()
+        with use_recorder(recorder):
+            result = SatAttack(
+                foundry.copy(f"{foundry.name}_new"), oracle
+            ).run()
+        new_total_s = time.perf_counter() - start
+        assert result.success and not result.gave_up
+        new_extract_s = recorder.total("attack.sat.extract")
+        new_rounds_s = new_total_s - new_extract_s
+
+        # Reference side: the preserved pre-overhaul DI search, then the
+        # preserved fresh-rebuild extraction on the *new* run's DI
+        # constraints (identical inputs → the extract race is apples to
+        # apples, and the keys must agree bit for bit).
+        oracle_ref = ConfiguredOracle(hybrid, scan=True)
+        start = time.perf_counter()
+        reference = reference_attack_rounds(foundry, oracle_ref)
+        ref_rounds_s = time.perf_counter() - start
+        assert not reference.gave_up
+        start = time.perf_counter()
+        ref_key = reference_extract_key(foundry, result.di_constraints)
+        ref_extract_s = time.perf_counter() - start
+        assert result.key == ref_key, (
+            f"extraction divergence on {netlist.name}: incremental and "
+            "rebuild keys differ for identical DI constraints"
+        )
+
+        # Normalize per solved round: each side's iterations plus the
+        # final UNSAT proof that terminates its search.
+        new_round_ms = new_rounds_s * 1e3 / (result.iterations + 1)
+        ref_round_ms = ref_rounds_s * 1e3 / (reference.iterations + 1)
+        entry: Dict = {
+            "gates": len(netlist.gates),
+            "locked_luts": len(foundry.luts),
+            "iterations": {
+                "new": result.iterations,
+                "ref": reference.iterations,
+            },
+            "stages": {
+                "rounds": {
+                    "ref_ms_per_round": ref_round_ms,
+                    "new_ms_per_round": new_round_ms,
+                    "speedup": ref_round_ms / new_round_ms,
+                },
+                "extract": {
+                    "ref_ms": ref_extract_s * 1e3,
+                    "new_ms": new_extract_s * 1e3,
+                    "speedup": ref_extract_s / new_extract_s
+                    if new_extract_s
+                    else float("inf"),
+                },
+            },
+            "solver_conflicts": result.solver_conflicts,
+        }
+        report[netlist.name] = entry
+        print(
+            "[sat-bench]   "
+            + "  ".join(
+                f"{stage} {payload['speedup']:.1f}x"
+                for stage, payload in entry["stages"].items()
+            )
+            + f"  (DI rounds: new {result.iterations}, "
+            f"ref {reference.iterations})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    at_scale = {
+        name: entry
+        for name, entry in report.items()
+        if entry["gates"] >= _AT_SCALE_GATES
+    }
+    headline = at_scale or report
+    rounds_geomean = _geomean(
+        e["stages"]["rounds"]["speedup"] for e in headline.values()
+    )
+    extract_geomean = _geomean(
+        e["stages"]["extract"]["speedup"] for e in headline.values()
+    )
+    summary = {
+        "target_speedup": TARGET_SPEEDUP,
+        "at_scale_gates": _AT_SCALE_GATES,
+        "at_scale_circuits": sorted(at_scale),
+        "rounds_speedup_geomean": rounds_geomean,
+        "extract_speedup_geomean": extract_geomean,
+    }
+    _RESULT_PATH.write_text(
+        json.dumps({"summary": summary, "circuits": report}, indent=2) + "\n"
+    )
+    print(
+        f"[sat-bench] rounds geomean {rounds_geomean:.1f}x "
+        f"(target {TARGET_SPEEDUP}x), extract geomean "
+        f"{extract_geomean:.1f}x, wrote {_RESULT_PATH}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    if at_scale:
+        assert rounds_geomean >= TARGET_SPEEDUP
+    else:
+        print(
+            "[sat-bench] no at-scale circuits in quick mode; "
+            "speedup floor not asserted",
+            file=sys.stderr,
+            flush=True,
+        )

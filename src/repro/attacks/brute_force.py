@@ -222,8 +222,13 @@ class BruteForceAttack:
     ) -> bool:
         """True when every survivor programs the foundry netlist to the
         same boolean function (proved with the SAT equivalence checker on
-        the attacker's own copy — no oracle access involved)."""
-        from ..sat.equivalence import check_equivalence
+        the attacker's own copy — no oracle access involved).
+
+        All survivors are checked against one :class:`EquivalenceSession`,
+        so the reference survivor is encoded once and conflict clauses
+        learned on its cone are shared across the whole pairwise sweep.
+        """
+        from ..sat.equivalence import EquivalenceSession
 
         def programmed(hypothesis: Dict[str, int]) -> Netlist:
             candidate = working.copy(f"{working.name}_h")
@@ -231,9 +236,9 @@ class BruteForceAttack:
                 candidate.node(name).lut_config = config
             return candidate
 
-        reference = programmed(survivors[0])
+        session = EquivalenceSession(programmed(survivors[0]))
         for hypothesis in survivors[1:]:
-            if not check_equivalence(reference, programmed(hypothesis)):
+            if not session.check(programmed(hypothesis)):
                 return False
         return True
 

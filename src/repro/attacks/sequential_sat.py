@@ -26,10 +26,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..netlist.netlist import Netlist
+from ..obs import span
 from ..sat.cnf import Cnf
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from .oracle import ConfiguredOracle
+from .sat_attack import extract_canonical_key
 
 
 @dataclass
@@ -41,6 +43,8 @@ class SequentialSatResult:
     unroll_depth: int = 0
     oracle_queries: int = 0
     test_clocks: int = 0
+    #: Total conflicts across DIS search and key extraction.
+    solver_conflicts: int = 0
     gave_up: bool = False
     bounded_only: bool = False  # key proven equivalent only up to the bound
 
@@ -133,6 +137,11 @@ class SequentialSatAttack:
             encoder, "B", keys_b, input_vars=inputs_a
         )
         cnf = encoder.cnf
+        # The DIS miter clause is gated on an activation literal, exactly
+        # like the combinational attack: solve([act]) hunts distinguishing
+        # sequences, solve([-act, ...]) extracts the key from the same
+        # solver with every dialogue constraint and learned clause intact.
+        act = cnf.new_var("seqsat:act")
         diff_lits: List[int] = []
         for cycle in range(self.unroll_depth):
             for po in self.netlist.outputs:
@@ -144,7 +153,7 @@ class SequentialSatAttack:
                 cnf.add_clause([d, -a_var, b_var])
                 cnf.add_clause([d, a_var, -b_var])
                 diff_lits.append(d)
-        cnf.add_clause(diff_lits)
+        cnf.add_clause(diff_lits + [-act])
 
         solver = Solver()
         solver.add_cnf(cnf)
@@ -152,7 +161,7 @@ class SequentialSatAttack:
         dialogues: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
 
         while result.iterations < self.max_iterations:
-            if not solver.solve():
+            if not solver.solve([act]):
                 break
             result.iterations += 1
             model = solver.model()
@@ -181,12 +190,21 @@ class SequentialSatAttack:
             result.gave_up = True
             result.oracle_queries = self.oracle.queries
             result.test_clocks = self.oracle.test_clocks
+            result.solver_conflicts = solver.stats["conflicts"]
             return result
 
-        result.key = self._extract_key(dialogues)
+        with span(
+            "attack.seqsat.extract", constraints=len(dialogues)
+        ) as extract_span:
+            conflicts_before = solver.stats["conflicts"]
+            result.key = extract_canonical_key(solver, keys_a, [-act])
+            extract_span.set(
+                solver_conflicts=solver.stats["conflicts"] - conflicts_before
+            )
         result.bounded_only = True
         result.oracle_queries = self.oracle.queries
         result.test_clocks = self.oracle.test_clocks
+        result.solver_conflicts = solver.stats["conflicts"]
         return result
 
     # ------------------------------------------------------------------
@@ -206,33 +224,6 @@ class SequentialSatAttack:
                 var = c_outputs[cycle][po]
                 solver.add_clause([var if response[po] else -var])
 
-    def _extract_key(
-        self,
-        dialogues: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]],
-    ) -> Dict[str, int]:
-        encoder = CircuitEncoder(Cnf())
-        keys: Dict[Tuple[str, int], int] = {}
-        for index, (sequence, responses) in enumerate(dialogues or [([], [])]):
-            c_inputs, c_outputs = self._unroll(encoder, f"K{index}", keys)
-            for cycle, (stimulus, response) in enumerate(
-                zip(sequence, responses)
-            ):
-                for pi, value in stimulus.items():
-                    var = c_inputs[cycle][pi]
-                    encoder.cnf.add_clause([var if value else -var])
-                for po in self.netlist.outputs:
-                    var = c_outputs[cycle][po]
-                    encoder.cnf.add_clause(
-                        [var if response[po] else -var]
-                    )
-        solver = Solver()
-        solver.add_cnf(encoder.cnf)
-        if not solver.solve():  # pragma: no cover - real oracles are consistent
-            raise RuntimeError("oracle dialogue is inconsistent")
-        model = solver.model()
-        key: Dict[str, int] = {}
-        for (lut, row), var in keys.items():
-            key.setdefault(lut, 0)
-            if model.get(var, False):
-                key[lut] |= 1 << row
-        return key
+    # Key extraction happens on the live solver (extract_canonical_key with
+    # the miter relaxed); the old rebuild-everything path is gone — see
+    # repro.check.reference_sat for the combinational baseline it mirrored.

@@ -142,3 +142,90 @@ def sat_vs_exhaustive(ctx: CheckContext) -> None:
                 cone=cone.name,
                 counterexample=cex,
             )
+
+
+@register(
+    name="sat-incremental-extract",
+    family="sat",
+    description="the incremental SAT attack's extracted key must be "
+    "bit-identical to the preserved pre-overhaul rebuild path (both on "
+    "the live run's DI constraints and via a full reference attack), and "
+    "every side's oracle bill must equal one scan query per DI round",
+    trial_divisor=8,
+)
+def sat_incremental_extract(ctx: CheckContext) -> None:
+    from ..attacks.oracle import ConfiguredOracle
+    from ..attacks.sat_attack import SatAttack
+    from ..lut.mapping import HybridMapper
+    from .checks_attacks import IndependentBill, _lock_small
+    from .reference_sat import reference_attack_rounds, reference_extract_key
+
+    rng = ctx.rng
+    for trial in range(ctx.trials):
+        hybrid = _lock_small(ctx.netlist(), rng)
+        if hybrid is None:
+            return
+        foundry = HybridMapper().strip_configs(hybrid)
+
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        bill = IndependentBill(oracle)
+        result = SatAttack(foundry.copy(f"{foundry.name}_new"), oracle).run()
+        ctx.require(
+            "incremental attack recovers a key",
+            result.success and not result.gave_up,
+            "SAT attack gave up or failed on a tiny lock",
+            trial=trial,
+        )
+
+        # Race the two extraction paths on *identical* DI constraints: the
+        # live-solver lex-min extraction vs the preserved fresh-rebuild.
+        rebuilt = reference_extract_key(foundry, result.di_constraints)
+        ctx.compare(
+            "extracted key (incremental vs rebuild, same DI constraints)",
+            result.key,
+            rebuilt,
+            trial=trial,
+            di_rounds=result.iterations,
+        )
+
+        # Full pre-overhaul attack: DI searches may differ, but at
+        # termination the consistent-key set is the true key's functional
+        # equivalence class either way, so the canonical key is identical.
+        oracle_ref = ConfiguredOracle(hybrid, scan=True)
+        bill_ref = IndependentBill(oracle_ref)
+        ref = reference_attack_rounds(foundry, oracle_ref)
+        ctx.require(
+            "reference attack terminates",
+            not ref.gave_up,
+            "pre-overhaul SAT attack gave up on a tiny lock",
+            trial=trial,
+        )
+        ref_key = reference_extract_key(foundry, ref.di_constraints)
+        ctx.compare(
+            "extracted key (new attack vs pre-overhaul attack)",
+            result.key,
+            ref_key,
+            trial=trial,
+        )
+
+        # Oracle bills: a width-1 scan query per DI round, nothing from
+        # extraction (it never touches the oracle), on both sides — and
+        # the new side's reported bill must match the external re-count.
+        ctx.compare(
+            "oracle bill vs external re-count",
+            (result.oracle_queries, result.test_clocks),
+            (bill.queries, bill.test_clocks),
+            trial=trial,
+        )
+        ctx.compare(
+            "incremental bill is one scan query per DI round",
+            (result.oracle_queries, result.test_clocks),
+            (result.iterations, result.iterations),
+            trial=trial,
+        )
+        ctx.compare(
+            "reference bill is one scan query per DI round",
+            (bill_ref.queries, bill_ref.test_clocks),
+            (ref.iterations, ref.iterations),
+            trial=trial,
+        )

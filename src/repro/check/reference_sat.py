@@ -1,0 +1,537 @@
+"""Pre-overhaul SAT paths, preserved verbatim as the differential baseline.
+
+ISSUE 9 rebuilt the CDCL engine's hot paths (activity heap, flat watch
+lists with blocker literals, learned-clause minimization, LBD-aware DB
+reduction) and made the SAT attacks incremental end to end.  This module
+keeps the *replaced* code byte-for-byte so the new paths can be raced and
+cross-checked against exactly what the pipeline used to run:
+
+* :class:`ReferenceSolver` — the old CDCL solver with the O(num_vars)
+  linear-scan ``_pick_branch``, dict-of-lists watches without blockers,
+  no clause minimization, and activity-only DB reduction;
+* :func:`reference_attack_rounds` — the old ``SatAttack`` DI loop (one
+  permanent miter clause, plain ``solve()`` per round) on the reference
+  solver;
+* :func:`reference_extract_key` — the old extraction path: a fresh
+  encoder + fresh solver rebuilt over *all* accumulated DI constraints,
+  finished with the same lexicographic key canonicalization the
+  incremental path applies, so the two sides must agree **bit for bit**
+  (``sat-incremental-extract`` check).
+
+Like :mod:`repro.check.reference_graph`, nothing here is reachable from
+the production pipeline — it exists only for ``repro.check`` and
+``benchmarks/test_sat_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..netlist.netlist import Netlist
+from ..sat.cnf import Cnf
+from ..sat.solver import luby
+from ..sat.tseitin import CircuitEncoder
+
+_UNASSIGNED = -1
+
+
+class _Clause:
+    """Internal clause representation (literals + learned bookkeeping)."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class ReferenceSolver:
+    """The pre-ISSUE-9 incremental CDCL solver, preserved verbatim.
+
+    Known (preserved) wart: a unit clause learned while assumptions are
+    active is enqueued at the assumption level with no stored clause and
+    evaporates on the next ``solve()`` — the bug the new engine fixes by
+    persisting such units as root-level facts.
+    """
+
+    def __init__(self):
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # Indexed by literal encoding: lit -> index 2*var (pos) / 2*var+1 (neg)
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._assign: List[int] = [_UNASSIGNED]  # 1-indexed by var
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._unsat = False
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        if self._decision_level() > 0:
+            self._backtrack(0)
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology, drop
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        clause.sort(key=lambda lit: 1 if self._value(lit) == 0 else 0)
+        if self._value(clause[0]) == 0:
+            self._unsat = True
+            return False
+        unit = len(clause) == 1 or self._value(clause[1]) == 0
+        if unit:
+            if self._value(clause[0]) == _UNASSIGNED:
+                self._enqueue(clause[0], None)
+                if self._propagate() is not None:
+                    self._unsat = True
+                    return False
+            if len(clause) == 1:
+                return True
+        record = _Clause(clause)
+        self._clauses.append(record)
+        self._watch(record)
+        return True
+
+    def add_cnf(self, cnf: Cnf) -> bool:
+        self.ensure_vars(cnf.num_vars)
+        ok = True
+        for clause in cnf.clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        conflicts_until_restart = luby(1) * 32
+        restart_count = 1
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return False
+                if self._decision_level() <= len(assumptions):
+                    # Conflict forced purely by assumptions.
+                    self._backtrack(0)
+                    return False
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(max(backtrack_level, len(assumptions)))
+                self._record_learned(learned)
+                self._decay_activities()
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    self.stats["restarts"] += 1
+                    restart_count += 1
+                    conflicts_until_restart = luby(restart_count) * 32
+                    self._backtrack(len(assumptions))
+                if len(self._learned) > 4000 + 8 * len(self._clauses) ** 0.5:
+                    self._reduce_learned()
+                continue
+            # Assumption decisions first.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == 0:
+                    self._backtrack(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                return True
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def model(self) -> Dict[int, bool]:
+        return {
+            var: self._assign[var] == 1
+            for var in range(1, self.num_vars + 1)
+            if self._assign[var] != _UNASSIGNED
+        }
+
+    def value(self, var: int) -> Optional[bool]:
+        v = self._assign[var]
+        return None if v == _UNASSIGNED else bool(v)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else 1 - v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _watch(self, clause: _Clause) -> None:
+        for lit in clause.literals[:2]:
+            self._watches.setdefault(-lit, []).append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats["propagations"] += 1
+            watchers = self._watches.get(lit, [])
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                lits = clause.literals
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == 1:
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(-lits[1], []).append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if self._value(lits[0]) == 0:
+                    return clause
+                self._enqueue(lits[0], clause)
+                i += 1
+        return None
+
+    def _analyze(self, conflict: _Clause) -> "tuple[List[int], int]":
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        trail_lit = 0
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail)
+        current_level = self._decision_level()
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for q in reason.literals:
+                if q == trail_lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                index -= 1
+                trail_lit = self._trail[index]
+                if seen[abs(trail_lit)]:
+                    break
+            counter -= 1
+            seen[abs(trail_lit)] = False
+            if counter == 0:
+                break
+            reason = self._reason[abs(trail_lit)]
+        learned[0] = -trail_lit
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            levels = sorted(
+                (self._level[abs(q)] for q in learned[1:]), reverse=True
+            )
+            backtrack_level = levels[0]
+        return learned, backtrack_level
+
+    def _record_learned(self, literals: List[int]) -> None:
+        self.stats["learned"] += 1
+        if len(literals) == 1:
+            self._enqueue(literals[0], None)
+            return
+        best = max(
+            range(1, len(literals)), key=lambda i: self._level[abs(literals[i])]
+        )
+        literals[1], literals[best] = literals[best], literals[1]
+        clause = _Clause(literals, learned=True)
+        clause.activity = self._cla_inc
+        self._learned.append(clause)
+        self._watch(clause)
+        self._enqueue(literals[0], clause)
+
+    def _backtrack(self, level: int) -> None:
+        while self._decision_level() > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._phase[var] = self._assign[var]
+                self._assign[var] = _UNASSIGNED
+                self._reason[var] = None
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_activity = 0, -1.0
+        for var in range(1, self.num_vars + 1):
+            if (
+                self._assign[var] == _UNASSIGNED
+                and self._activity[var] > best_activity
+            ):
+                best_var, best_activity = var, self._activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] == 1 else -best_var
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _reduce_learned(self) -> None:
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        dropped = [
+            c
+            for c in self._learned[:keep_from]
+            if id(c) not in locked and len(c.literals) > 2
+        ]
+        kept = [c for c in self._learned[:keep_from] if c not in dropped]
+        self._learned = kept + self._learned[keep_from:]
+        dropped_ids = {id(c) for c in dropped}
+        for watchers in self._watches.values():
+            watchers[:] = [c for c in watchers if id(c) not in dropped_ids]
+
+
+# ----------------------------------------------------------------------
+# the pre-overhaul attack paths
+# ----------------------------------------------------------------------
+#: One recorded DI exchange: (startpoint pattern, observed response).
+DiConstraint = Tuple[Dict[str, int], Dict[str, int]]
+
+
+def _observation_pairs(netlist: Netlist) -> List[str]:
+    """POs plus DFF D-pin nets, deduplicated preserving order (verbatim
+    ``SatAttack._observation_pairs``)."""
+    points: List[str] = []
+    seen = set()
+    for po in netlist.outputs:
+        if po not in seen:
+            points.append(po)
+            seen.add(po)
+    for ff in netlist.flip_flops:
+        d_pin = netlist.node(ff).fanin[0]
+        if d_pin not in seen:
+            points.append(d_pin)
+            seen.add(d_pin)
+    return points
+
+
+class ReferenceAttackOutcome:
+    """What :func:`reference_attack_rounds` hands back to the bench."""
+
+    __slots__ = ("iterations", "di_constraints", "solver_conflicts", "gave_up")
+
+    def __init__(self):
+        self.iterations = 0
+        self.di_constraints: List[DiConstraint] = []
+        self.solver_conflicts = 0
+        self.gave_up = False
+
+
+def reference_attack_rounds(
+    foundry_netlist: Netlist,
+    oracle,
+    max_iterations: int = 256,
+) -> ReferenceAttackOutcome:
+    """The old ``SatAttack`` DI-refinement loop on :class:`ReferenceSolver`.
+
+    Builds the miter with a *permanent* difference clause (no activation
+    literal), calls plain ``solve()`` each round, and grows the formula
+    with one fresh functional copy per key hypothesis per DI — exactly
+    the pre-overhaul hot path, minus extraction (see
+    :func:`reference_extract_key`) and observability plumbing.
+    """
+    outcome = ReferenceAttackOutcome()
+    startpoints = list(foundry_netlist.inputs) + list(
+        foundry_netlist.flip_flops
+    )
+    observation = _observation_pairs(foundry_netlist)
+
+    encoder = CircuitEncoder(Cnf())
+    keys_a: Dict[Tuple[str, int], int] = {}
+    keys_b: Dict[Tuple[str, int], int] = {}
+    enc_a = encoder.encode(foundry_netlist, prefix="A.", key_vars=keys_a)
+    shared_inputs = {name: enc_a.net_vars[name] for name in startpoints}
+    enc_b = encoder.encode(
+        foundry_netlist,
+        prefix="B.",
+        input_vars=shared_inputs,
+        key_vars=keys_b,
+    )
+    cnf = encoder.cnf
+    diff_lits: List[int] = []
+    for point in observation:
+        a_var, b_var = enc_a.net_vars[point], enc_b.net_vars[point]
+        d = cnf.new_var()
+        cnf.add_clause([-d, a_var, b_var])
+        cnf.add_clause([-d, -a_var, -b_var])
+        cnf.add_clause([d, -a_var, b_var])
+        cnf.add_clause([d, a_var, -b_var])
+        diff_lits.append(d)
+    cnf.add_clause(diff_lits)
+
+    solver = ReferenceSolver()
+    solver.add_cnf(cnf)
+    cursor = len(cnf.clauses)
+
+    def add_io_constraint(shared_keys, pattern, response):
+        nonlocal cursor
+        copy_enc = encoder.encode(
+            foundry_netlist,
+            prefix=f"C{len(encoder.cnf.clauses)}.",
+            key_vars=shared_keys,
+        )
+        for clause in encoder.cnf.clauses[cursor:]:
+            solver.add_clause(clause)
+        cursor = len(encoder.cnf.clauses)
+        for name, value in pattern.items():
+            var = copy_enc.net_vars[name]
+            solver.add_clause([var if value else -var])
+        for point, value in response.items():
+            var = copy_enc.net_vars[point]
+            solver.add_clause([var if value else -var])
+
+    while outcome.iterations < max_iterations:
+        if not solver.solve():
+            outcome.solver_conflicts = solver.stats["conflicts"]
+            return outcome
+        outcome.iterations += 1
+        model = solver.model()
+        pattern = {
+            name: int(model.get(var, False))
+            for name, var in shared_inputs.items()
+        }
+        pis = {pi: pattern.get(pi, 0) for pi in foundry_netlist.inputs}
+        state = {ff: pattern.get(ff, 0) for ff in foundry_netlist.flip_flops}
+        observed = oracle.query(pis, state)
+        response = {point: observed[point] for point in observation}
+        outcome.di_constraints.append((pattern, response))
+        add_io_constraint(keys_a, pattern, response)
+        add_io_constraint(keys_b, pattern, response)
+    outcome.gave_up = True
+    outcome.solver_conflicts = solver.stats["conflicts"]
+    return outcome
+
+
+def reference_extract_key(
+    foundry_netlist: Netlist,
+    di_constraints: Sequence[DiConstraint],
+) -> Dict[str, int]:
+    """The old extraction path: rebuild a fresh encoder + fresh solver over
+    *all* accumulated DI constraints, then canonicalize.
+
+    The rebuild is verbatim ``SatAttack._extract_key`` as of PR 8; the
+    final lexicographic canonicalization (shared with the incremental
+    path via :func:`repro.attacks.sat_attack.extract_canonical_key`) is
+    what makes the two extraction paths comparable bit for bit — both
+    return the lexicographically-minimal key consistent with every
+    recorded oracle response, regardless of which solver produced it.
+    """
+    from ..attacks.sat_attack import extract_canonical_key
+
+    encoder = CircuitEncoder(Cnf())
+    keys: Dict[Tuple[str, int], int] = {}
+    for index, (pattern, response) in enumerate(
+        list(di_constraints) or [({}, {})]
+    ):
+        enc = encoder.encode(
+            foundry_netlist, prefix=f"K{index}.", key_vars=keys
+        )
+        for name, value in pattern.items():
+            var = enc.net_vars[name]
+            encoder.cnf.add_clause([var if value else -var])
+        for point, value in response.items():
+            var = enc.net_vars[point]
+            encoder.cnf.add_clause([var if value else -var])
+    solver = ReferenceSolver()
+    solver.add_cnf(encoder.cnf)
+    return extract_canonical_key(solver, keys)

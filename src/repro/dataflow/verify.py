@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional
 from ..netlist.netlist import Netlist, NetlistError
 from ..netlist.transform import extract_cone
 from ..obs import add_counter, span
-from ..sat.equivalence import check_equivalence
+from ..sat.equivalence import EquivalenceSession
 from ..sim.logicsim import CombinationalSimulator
 from .engine import AuditReport, KeyBitReport, LutAudit, Verdict
 
@@ -146,44 +146,69 @@ def recover_bit(
     )
 
 
-def prove_dont_care(
-    provisioned: Netlist, audit: LutAudit, bit: KeyBitReport
-) -> BitVerification:
-    """SAT-prove that flipping the claimed don't-care bit changes nothing."""
-    if audit.observation_points:
-        base = extract_cone(
-            provisioned, audit.observation_points, name=f"{bit.lut}:dc"
-        )
-    else:
-        # The LUT reaches no observation point; the proof obligation is
-        # whole-netlist equivalence under the flip.
-        base = provisioned
-    flipped = base.copy(f"{base.name}:flipped")
-    node = flipped.node(bit.lut)
-    node.lut_config ^= 1 << bit.row
-    flipped.touch_function()
-    try:
-        result = check_equivalence(base, flipped)
-    except NetlistError as exc:
+class DontCareProver:
+    """SAT-proves don't-care claims for one audited LUT.
+
+    The proof obligation's left-hand side — the observation cone of the
+    audited LUT (or the whole netlist when it reaches no observation
+    point) — is the same for every claimed bit, so all of an audit's
+    proofs run through one :class:`EquivalenceSession`: the cone is
+    encoded once and each flipped candidate rides the same incremental
+    solver.
+    """
+
+    def __init__(self, provisioned: Netlist, audit: LutAudit):
+        if audit.observation_points:
+            self._base = extract_cone(
+                provisioned, audit.observation_points, name=f"{audit.lut}:dc"
+            )
+        else:
+            # The LUT reaches no observation point; the proof obligation
+            # is whole-netlist equivalence under the flip.
+            self._base = provisioned
+        self._session: Optional[EquivalenceSession] = None
+
+    def prove(self, bit: KeyBitReport) -> BitVerification:
+        flipped = self._base.copy(f"{self._base.name}:flipped")
+        node = flipped.node(bit.lut)
+        node.lut_config ^= 1 << bit.row
+        flipped.touch_function()
+        try:
+            if self._session is None:
+                self._session = EquivalenceSession(self._base)
+            result = self._session.check(flipped)
+        except NetlistError as exc:
+            return BitVerification(
+                lut=bit.lut,
+                row=bit.row,
+                kind="dont-care",
+                ok=False,
+                detail=f"equivalence check failed to run: {exc}",
+            )
+        add_counter("dataflow.sat_proofs", 1)
         return BitVerification(
             lut=bit.lut,
             row=bit.row,
             kind="dont-care",
-            ok=False,
-            detail=f"equivalence check failed to run: {exc}",
+            ok=result.equivalent,
+            detail=(
+                ""
+                if result.equivalent
+                else "flip is observable: "
+                f"counterexample {result.counterexample}"
+            ),
         )
-    add_counter("dataflow.sat_proofs", 1)
-    return BitVerification(
-        lut=bit.lut,
-        row=bit.row,
-        kind="dont-care",
-        ok=result.equivalent,
-        detail=(
-            ""
-            if result.equivalent
-            else f"flip is observable: counterexample {result.counterexample}"
-        ),
-    )
+
+
+def prove_dont_care(
+    provisioned: Netlist, audit: LutAudit, bit: KeyBitReport
+) -> BitVerification:
+    """SAT-prove that flipping the claimed don't-care bit changes nothing.
+
+    One-shot form of :class:`DontCareProver` (which amortizes the cone
+    encoding across all of an audit's claimed bits).
+    """
+    return DontCareProver(provisioned, audit).prove(bit)
 
 
 def verify_report(
@@ -215,15 +240,16 @@ def verify_report(
                 if claims:
                     verification.unverifiable_luts.append(audit.lut)
                 continue
+            prover: Optional[DontCareProver] = None
             for bit in claims:
                 if bit.verdict is Verdict.PROVABLY_INFERABLE:
                     verification.results.append(
                         recover_bit(provisioned, audit, bit)
                     )
                 if bit.dont_care:
-                    verification.results.append(
-                        prove_dont_care(provisioned, audit, bit)
-                    )
+                    if prover is None:
+                        prover = DontCareProver(provisioned, audit)
+                    verification.results.append(prover.prove(bit))
         verify_span.set(
             ok=verification.ok,
             checked=len(verification.results),

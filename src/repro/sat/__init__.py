@@ -3,7 +3,12 @@
 from .cnf import Cnf, CnfError, at_most_one, exactly_one
 from .solver import Solver, luby, solve_cnf
 from .tseitin import CircuitEncoder, CircuitEncoding, encode_netlist
-from .equivalence import EquivalenceResult, assert_equivalent, check_equivalence
+from .equivalence import (
+    EquivalenceResult,
+    EquivalenceSession,
+    assert_equivalent,
+    check_equivalence,
+)
 
 __all__ = [
     "Cnf",
@@ -17,6 +22,7 @@ __all__ = [
     "CircuitEncoding",
     "encode_netlist",
     "EquivalenceResult",
+    "EquivalenceSession",
     "assert_equivalent",
     "check_equivalence",
 ]

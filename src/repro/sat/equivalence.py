@@ -6,12 +6,24 @@ and every flip-flop input (next state) agree.  For structurally-preserving
 transformations like LUT replacement this implies full sequential
 equivalence, so it is the proof obligation our locking flow discharges after
 programming the LUTs.
+
+Two entry points:
+
+* :func:`check_equivalence` — one-shot proof of a single pair;
+* :class:`EquivalenceSession` — one *reference* netlist proved against many
+  candidates on a single incremental solver.  The reference cone is encoded
+  once; each candidate gets its own functional copy and an
+  activation-literal-gated miter, so conflict clauses learned about the
+  shared reference cone carry over from candidate to candidate.  This is
+  the shape every key-verification loop has (brute-force survivor
+  interchangeability, dataflow don't-care proofs, post-attack
+  ``verify_key``): same reference, stream of candidates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..netlist.netlist import Netlist, NetlistError
 from .cnf import Cnf
@@ -31,20 +43,115 @@ class EquivalenceResult:
         return self.equivalent
 
 
-def _observation_points(netlist: Netlist) -> List[str]:
-    """POs plus DFF D-pin nets, deduplicated preserving order."""
-    points: List[str] = []
-    seen = set()
-    for po in netlist.outputs:
-        if po not in seen:
-            points.append(po)
-            seen.add(po)
-    for ff in netlist.flip_flops:
-        d_pin = netlist.node(ff).fanin[0]
-        if d_pin not in seen:
-            points.append(d_pin)
-            seen.add(d_pin)
-    return points
+class EquivalenceSession:
+    """Prove one reference netlist equivalent (or not) to many candidates.
+
+    The reference is Tseitin-encoded once; every :meth:`check` call encodes
+    only the candidate, shares the reference's startpoint variables, and
+    gates the candidate's miter clause on a fresh activation literal.  One
+    ``solve([act])`` decides the pair; the activation literal is then
+    permanently retired (``[-act]``) so the next candidate starts from a
+    satisfiable formula while keeping every clause the solver learned about
+    the shared reference cone.
+
+    All LUTs of both sides must be programmed (an unprogrammed LUT has no
+    function to compare), and each candidate must expose the reference's
+    primary inputs, primary outputs, and flip-flop names.
+    """
+
+    def __init__(self, reference: Netlist):
+        self._reference = reference
+        self._encoder = CircuitEncoder(Cnf())
+        self._ref_enc = self._encoder.encode(
+            reference, prefix="L.", symbolic_luts=False
+        )
+        self._shared = {
+            name: self._ref_enc.net_vars[name]
+            for name in list(reference.inputs) + list(reference.flip_flops)
+        }
+        self._solver = Solver()
+        self._cursor = 0
+        self._count = 0
+        self._sync()
+
+    @property
+    def reference(self) -> Netlist:
+        return self._reference
+
+    @property
+    def checks_run(self) -> int:
+        return self._count
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The underlying solver's statistics (shared across all checks)."""
+        return dict(self._solver.stats)
+
+    def _sync(self) -> None:
+        cnf = self._encoder.cnf
+        self._solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses[self._cursor:]:
+            self._solver.add_clause(clause)
+        self._cursor = len(cnf.clauses)
+
+    def check(self, candidate: Netlist) -> EquivalenceResult:
+        reference = self._reference
+        if set(reference.inputs) != set(candidate.inputs):
+            raise NetlistError("designs differ in primary inputs")
+        if set(reference.outputs) != set(candidate.outputs):
+            raise NetlistError("designs differ in primary outputs")
+        if set(reference.flip_flops) != set(candidate.flip_flops):
+            raise NetlistError("designs differ in flip-flops")
+
+        self._count += 1
+        cnf = self._encoder.cnf
+        act = cnf.new_var(f"equiv:act{self._count}")
+        cand_enc = self._encoder.encode(
+            candidate,
+            prefix=f"R{self._count}.",
+            input_vars=self._shared,
+            symbolic_luts=False,
+        )
+        # Compare by role: POs by name; next-state by flip-flop name (the
+        # D-pin net may be named differently after retiming-style edits).
+        pairs: List[Tuple[int, int]] = []
+        for po in reference.outputs:
+            pairs.append(
+                (self._ref_enc.net_vars[po], cand_enc.net_vars[po])
+            )
+        for ff in reference.flip_flops:
+            l_pin = reference.node(ff).fanin[0]
+            r_pin = candidate.node(ff).fanin[0]
+            pairs.append(
+                (self._ref_enc.net_vars[l_pin], cand_enc.net_vars[r_pin])
+            )
+        diff_lits: List[int] = []
+        for l_var, r_var in pairs:
+            miter = cnf.new_var()
+            cnf.add_clause([-miter, l_var, r_var])
+            cnf.add_clause([-miter, -l_var, -r_var])
+            cnf.add_clause([miter, -l_var, r_var])
+            cnf.add_clause([miter, l_var, -r_var])
+            diff_lits.append(miter)
+        cnf.add_clause(diff_lits + [-act])
+        self._sync()
+
+        equivalent = not self._solver.solve([act])
+        counterexample: Optional[Dict[str, int]] = None
+        if not equivalent:
+            model = self._solver.model()
+            counterexample = {
+                name: int(model.get(var, False))
+                for name, var in self._shared.items()
+            }
+        # Retire this candidate's miter for good; learned clauses about the
+        # shared reference cone stay usable by the next check.
+        self._solver.add_clause([-act])
+        return EquivalenceResult(
+            equivalent=equivalent,
+            counterexample=counterexample,
+            compared_points=len(pairs),
+        )
 
 
 def check_equivalence(left: Netlist, right: Netlist) -> EquivalenceResult:
@@ -53,63 +160,10 @@ def check_equivalence(left: Netlist, right: Netlist) -> EquivalenceResult:
     Both must expose the same primary inputs, primary outputs, and flip-flop
     names.  All LUTs must be programmed (an unprogrammed LUT has no function
     to compare).  Returns a counterexample assignment of startpoints on
-    inequivalence.
+    inequivalence.  ``compared_points`` is the number of miter pairs on both
+    verdicts (POs + flip-flops).
     """
-    if set(left.inputs) != set(right.inputs):
-        raise NetlistError("designs differ in primary inputs")
-    if set(left.outputs) != set(right.outputs):
-        raise NetlistError("designs differ in primary outputs")
-    if set(left.flip_flops) != set(right.flip_flops):
-        raise NetlistError("designs differ in flip-flops")
-
-    encoder = CircuitEncoder(Cnf())
-    left_enc = encoder.encode(left, prefix="L.", symbolic_luts=False)
-    shared = {
-        name: left_enc.net_vars[name]
-        for name in list(left.inputs) + list(left.flip_flops)
-    }
-    right_enc = encoder.encode(
-        right, prefix="R.", input_vars=shared, symbolic_luts=False
-    )
-
-    cnf = encoder.cnf
-    diff_lits: List[int] = []
-    left_points = _observation_points(left)
-    right_points = _observation_points(right)
-    # Compare by role: POs by name; next-state by flip-flop name (the D-pin
-    # net may be named differently after retiming-style edits).
-    pairs = []
-    for po in left.outputs:
-        pairs.append((left_enc.net_vars[po], right_enc.net_vars[po]))
-    for ff in left.flip_flops:
-        l_pin = left.node(ff).fanin[0]
-        r_pin = right.node(ff).fanin[0]
-        pairs.append((left_enc.net_vars[l_pin], right_enc.net_vars[r_pin]))
-    for l_var, r_var in pairs:
-        miter = cnf.new_var()
-        cnf.add_clause([-miter, l_var, r_var])
-        cnf.add_clause([-miter, -l_var, -r_var])
-        cnf.add_clause([miter, -l_var, r_var])
-        cnf.add_clause([miter, l_var, -r_var])
-        diff_lits.append(miter)
-    cnf.add_clause(diff_lits)
-
-    solver = Solver()
-    solver.add_cnf(cnf)
-    if not solver.solve():
-        return EquivalenceResult(
-            equivalent=True, compared_points=len(pairs)
-        )
-    model = solver.model()
-    counterexample = {
-        name: int(model.get(var, False))
-        for name, var in shared.items()
-    }
-    return EquivalenceResult(
-        equivalent=False,
-        counterexample=counterexample,
-        compared_points=len(left_points) + len(right_points),
-    )
+    return EquivalenceSession(left).check(right)
 
 
 def assert_equivalent(left: Netlist, right: Netlist) -> None:

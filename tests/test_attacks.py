@@ -299,3 +299,61 @@ class TestSatAttack:
         oracle = ConfiguredOracle(hybrid, scan=True)
         result = SatAttack(foundry, oracle, max_iterations=1).run()
         assert result.gave_up or result.iterations <= 1
+
+
+class TestSatAttackIncremental:
+    """The attack's DI search and key extraction share one live solver;
+    conflicts and spans must account for both phases."""
+
+    def test_extraction_conflicts_folded_into_result(self, s27):
+        from repro.obs import Recorder, use_recorder
+
+        hybrid, foundry, _ = lock(s27, ["G8", "G11"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = SatAttack(foundry, oracle).run()
+        assert result.success
+        (attack_span,) = recorder.find("attack.sat")
+        (extract_span,) = recorder.find("attack.sat.extract")
+        # Span-level conflict attribution: whole run == result field, and
+        # the extract span carries its own share explicitly.
+        assert attack_span.attrs["solver_conflicts"] == result.solver_conflicts
+        assert "solver_conflicts" in extract_span.attrs
+        iter_conflicts = sum(
+            s.attrs["solver_conflicts"]
+            for s in recorder.find("attack.sat.iteration")
+        )
+        assert (
+            iter_conflicts + extract_span.attrs["solver_conflicts"]
+            == result.solver_conflicts
+        )
+
+    def test_extraction_costs_no_oracle_queries(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle).run()
+        assert result.success
+        # One width-1 scan query per DI round; extraction adds nothing.
+        assert result.oracle_queries == result.iterations
+        assert result.test_clocks == result.iterations
+
+    def test_di_constraints_recorded(self, s27):
+        hybrid, foundry, _ = lock(s27, ["G8"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle).run()
+        assert len(result.di_constraints) == result.iterations
+        for pattern, response in result.di_constraints:
+            assert set(pattern) >= set(s27.inputs)
+            assert response  # at least one observation point pinned
+
+    def test_extracted_key_matches_reference_rebuild(self, s27):
+        from repro.check.reference_sat import reference_extract_key
+
+        hybrid, foundry, _ = lock(s27, ["G8", "G11"])
+        oracle = ConfiguredOracle(hybrid, scan=True)
+        result = SatAttack(foundry, oracle).run()
+        assert result.success
+        assert result.key == reference_extract_key(
+            foundry, result.di_constraints
+        )

@@ -107,3 +107,94 @@ class TestInterfaceChecks:
         other.add_output("out")
         with pytest.raises(NetlistError, match="flip-flops"):
             check_equivalence(tiny_seq, other)
+
+
+class TestComparedPoints:
+    """``compared_points`` is the number of miter pairs (POs + flip-flops)
+    on *both* verdict paths — the counterexample path used to double-count
+    by summing both sides' observation points."""
+
+    def test_equivalent_path_counts_pairs(self):
+        left, right = de_morgan_pair()
+        result = check_equivalence(left, right)
+        assert result.equivalent
+        assert result.compared_points == 1  # one PO, no flip-flops
+
+    def test_counterexample_path_counts_pairs(self):
+        left, right = de_morgan_pair()
+        right.node("y").gate_type = GateType.AND
+        result = check_equivalence(left, right)
+        assert not result.equivalent
+        assert result.compared_points == 1  # was 2 (double-counted)
+
+    def test_both_paths_agree_with_sequential_pairs(self, tiny_seq):
+        pairs = len(tiny_seq.outputs) + len(tiny_seq.flip_flops)
+        same = check_equivalence(tiny_seq, tiny_seq.copy())
+        assert same.equivalent
+        assert same.compared_points == pairs
+        broken = tiny_seq.copy()
+        broken.replace_with_lut("x")
+        broken.node("x").lut_config ^= 0b0001
+        diff = check_equivalence(tiny_seq, broken)
+        assert not diff.equivalent
+        assert diff.compared_points == pairs
+
+
+class TestEquivalenceSession:
+    def test_many_candidates_one_solver(self, tiny_comb):
+        from repro.sat import EquivalenceSession
+
+        session = EquivalenceSession(tiny_comb)
+        good = tiny_comb.copy("good")
+        good.replace_with_lut("y1")
+        bad = tiny_comb.copy("bad")
+        bad.replace_with_lut("y1")
+        bad.node("y1").lut_config ^= 0b0100
+        assert session.check(good).equivalent
+        r_bad = session.check(bad)
+        assert not r_bad.equivalent
+        assert r_bad.counterexample is not None
+        # Verdicts stay independent: a failing candidate must not poison
+        # the session for later candidates.
+        assert session.check(tiny_comb.copy("again")).equivalent
+        assert session.checks_run == 3
+        assert session.stats["propagations"] > 0
+
+    def test_session_counterexample_is_valid(self, tiny_comb):
+        from repro.sat import EquivalenceSession
+        from repro.sim import CombinationalSimulator
+
+        session = EquivalenceSession(tiny_comb)
+        bad = tiny_comb.copy("bad")
+        bad.replace_with_lut("y1")
+        bad.node("y1").lut_config ^= 0b0100
+        cex = session.check(bad).counterexample
+        inputs = {pi: cex[pi] for pi in tiny_comb.inputs}
+        out_l = CombinationalSimulator(tiny_comb).evaluate(inputs)
+        out_r = CombinationalSimulator(bad).evaluate(inputs)
+        assert any(out_l[po] != out_r[po] for po in tiny_comb.outputs)
+
+    def test_session_matches_oneshot_verdicts(self, tiny_seq):
+        from repro.sat import EquivalenceSession
+
+        session = EquivalenceSession(tiny_seq)
+        candidates = []
+        for row in range(4):
+            cand = tiny_seq.copy(f"cand{row}")
+            cand.replace_with_lut("x")
+            cand.node("x").lut_config ^= 1 << row
+            candidates.append(cand)
+        for cand in candidates:
+            assert (
+                session.check(cand).equivalent
+                == check_equivalence(tiny_seq, cand).equivalent
+            )
+
+    def test_session_interface_checks(self, tiny_comb, tiny_seq):
+        from repro.sat import EquivalenceSession
+
+        session = EquivalenceSession(tiny_comb)
+        with pytest.raises(NetlistError, match="primary inputs"):
+            session.check(tiny_seq)
+        # The session survives a rejected candidate.
+        assert session.check(tiny_comb.copy()).equivalent

@@ -93,3 +93,37 @@ class TestSequentialSatAttack:
             for name, config in deep.key.items():
                 deep_cand.node(name).lut_config = config
             assert functional_match(hybrid, deep_cand, cycles=64, width=32)
+
+
+class TestSequentialSolverAccounting:
+    def test_solver_conflicts_reported(self, s27):
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        result = SequentialSatAttack(foundry, oracle, unroll_depth=4).run()
+        assert result.success
+        assert result.solver_conflicts >= 0
+        assert isinstance(result.solver_conflicts, int)
+
+    def test_extraction_span_and_conflict_folding(self, s27):
+        from repro.obs import Recorder, use_recorder
+
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = SequentialSatAttack(foundry, oracle, unroll_depth=4).run()
+        assert result.success
+        (extract_span,) = recorder.find("attack.seqsat.extract")
+        assert extract_span.attrs["constraints"] == result.iterations
+        # Extraction's conflicts are part of the reported total.
+        assert extract_span.attrs["solver_conflicts"] <= result.solver_conflicts
+
+    def test_gave_up_still_bills_conflicts(self, s27):
+        hybrid, foundry = lock(s27, ["G8", "G15", "G13"])
+        oracle = ConfiguredOracle(hybrid, scan=False)
+        result = SequentialSatAttack(
+            foundry, oracle, unroll_depth=4, max_iterations=1
+        ).run()
+        if result.gave_up:
+            assert result.solver_conflicts >= 0
+            assert result.key is None

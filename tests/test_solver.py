@@ -202,3 +202,151 @@ class TestAssumptionsAndIncremental:
             s.add_clause(clause)
         s.solve()
         assert s.stats["propagations"] > 0
+
+
+class TestLearnedUnitPersistence:
+    """Unit clauses learned while assumptions are active must survive as
+    root-level facts — the next solve() starts from them instead of
+    re-deriving the same conflicts."""
+
+    def _gadget(self) -> Solver:
+        # Var 1 is an unrelated assumption; (2|3), (2|-3), (-2|3) force
+        # 2 = 3 = True, but only through a conflict: whichever of 2/3 is
+        # decided first goes False (saved phase 0) and the learnt clause
+        # is the unit [2] or [3].
+        s = Solver()
+        s.ensure_vars(3)
+        s.add_clause([2, 3])
+        s.add_clause([2, -3])
+        s.add_clause([-2, 3])
+        return s
+
+    def test_second_solve_reuses_the_fact(self):
+        s = self._gadget()
+        assert s.solve([1])
+        first = s.stats["conflicts"]
+        assert first >= 1
+        assert s.solve([1])
+        assert s.stats["conflicts"] == first  # 0 new conflicts
+        assert s.model()[2] is True
+        assert s.model()[3] is True
+
+    def test_fact_survives_different_assumptions(self):
+        s = self._gadget()
+        assert s.solve([1])
+        conflicts = s.stats["conflicts"]
+        assert s.solve([-1])
+        assert s.stats["conflicts"] == conflicts
+        assert s.model()[2] is True
+
+    def test_fact_survives_plain_solve(self):
+        s = self._gadget()
+        assert s.solve([1])
+        conflicts = s.stats["conflicts"]
+        assert s.solve()
+        assert s.stats["conflicts"] == conflicts
+
+
+class TestAssumptionEdgeCases:
+    def test_assumption_already_root_satisfied(self):
+        # The assumption's decision level is empty (the literal is already
+        # true at the root); the solver must still answer and the model
+        # must honour the assumption.
+        s = Solver()
+        s.ensure_vars(2)
+        s.add_clause([1])
+        assert s.solve([1])
+        assert s.model()[1] is True
+        assert s.solve([1, 2])
+        assert s.model()[2] is True
+
+    def test_assumption_root_falsified(self):
+        s = Solver()
+        s.ensure_vars(1)
+        s.add_clause([-1])
+        assert not s.solve([1])
+        assert s.solve()  # reusable afterwards
+
+    def test_assumption_implied_by_propagation(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        assert s.solve([2])  # 2 is implied before its decision level opens
+        assert s.model() == {1: True, 2: True}
+
+
+class TestIncrementalVsFresh:
+    """Property test: interleaving solve() calls and clause additions must
+    agree with a from-scratch solver on the full formula — verdict and
+    model consistency."""
+
+    def _random_clauses(self, rng, num_vars, num_clauses):
+        return [
+            [v if rng.random() < 0.5 else -v for v in rng.sample(range(1, num_vars + 1), 3)]
+            for _ in range(num_clauses)
+        ]
+
+    def test_incremental_matches_rebuild(self):
+        rng = random.Random(20160805)
+        for _ in range(40):
+            num_vars = rng.randint(5, 12)
+            clauses = self._random_clauses(rng, num_vars, rng.randint(10, 45))
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(
+                    range(1, num_vars + 1), rng.randint(0, min(3, num_vars))
+                )
+            ]
+            split = rng.randrange(len(clauses) + 1)
+
+            inc = Solver()
+            inc.ensure_vars(num_vars)
+            for clause in clauses[:split]:
+                inc.add_clause(clause)
+            inc.solve()  # interleaved solve: learn on the prefix
+            inc.solve(assumptions[:1])
+            for clause in clauses[split:]:
+                inc.add_clause(clause)
+            got = inc.solve(assumptions)
+
+            fresh = Solver()
+            fresh.ensure_vars(num_vars)
+            for clause in clauses:
+                fresh.add_clause(clause)
+            want = fresh.solve(assumptions)
+
+            assert got == want, (num_vars, clauses, assumptions)
+            if got:
+                model = inc.model()
+                assert model_satisfies(model, clauses)
+                assert all(model[abs(a)] == (a > 0) for a in assumptions)
+
+
+class TestReduceAndMinimize:
+    def test_hard_formula_exercises_reduction_and_minimization(self):
+        # Pigeonhole-ish random instance big enough to trigger restarts,
+        # minimization, and (stats keys exist even if not) DB reduction.
+        rng = random.Random(9)
+        s = Solver()
+        clauses = []
+        for _ in range(900):
+            clause = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 61), 3)
+            ]
+            clauses.append(clause)
+            s.add_clause(clause)
+        got = s.solve()
+        assert {"minimized", "reduced"} <= set(s.stats)
+        if got:
+            assert model_satisfies(s.model(), clauses)
+        # Differential confirmation on a second, smaller seed.
+        rng = random.Random(10)
+        s2 = Solver()
+        small = [
+            [v if rng.random() < 0.5 else -v for v in rng.sample(range(1, 9), 3)]
+            for _ in range(40)
+        ]
+        for clause in small:
+            s2.add_clause(clause)
+        assert s2.solve() == brute_force_sat(8, small)
