@@ -126,3 +126,76 @@ def test_sweep_throughput(tmp_path):
         assert (
             summary["parallel_speedup"] >= TARGET_PARALLEL_SPEEDUP
         ), summary
+
+
+def test_backend_comparison(tmp_path):
+    """Executor backends head-to-head on a reduced grid: serial vs
+    local-pool vs cache work-stealing, identity asserted, timings merged
+    into ``BENCH_sweep.json`` under ``backends`` (informational — on the
+    1-core CI box the distributed backends pay pure overhead)."""
+    from repro.sweep import CacheWorkStealingBackend, ResultCache, SweepRunner
+
+    max_gates = int(os.environ.get("REPRO_BENCH_MAX_GATES", "0"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+    workers = min(os.cpu_count() or 1, 4)
+    circuits = suite_circuits(max_gates)[:2]
+    spec = SweepSpec(
+        circuits=circuits,
+        algorithms=ALGORITHM_ORDER,
+        seeds=(seed, seed + 1),
+        analyses=("ppa", "security"),
+        gen_seed=seed,
+    )
+    for name in circuits:
+        load_circuit(name, seed)
+
+    results = {}
+    timings = {}
+    serial = run_sweep(spec, workers=1, backend="serial")
+    results["serial"] = serial
+    timings["serial_s"] = serial.stats.wall_seconds
+    pool = run_sweep(spec, workers=workers, backend="local-pool")
+    results["local-pool"] = pool
+    timings["local_pool_s"] = pool.stats.wall_seconds
+    steal_backend = CacheWorkStealingBackend(
+        cache=ResultCache(tmp_path / "steal"), workers=workers
+    )
+    steal = SweepRunner(
+        workers=workers, cache_dir=tmp_path / "steal", backend=steal_backend
+    ).run(spec)
+    results["work-stealing"] = steal
+    timings["work_stealing_s"] = steal.stats.wall_seconds
+
+    for label, result in results.items():
+        print(
+            f"[sweep-bench] backend {label}: {result.stats.summary()}",
+            file=sys.stderr,
+            flush=True,
+        )
+        assert not result.failed_rows(), label
+        assert (
+            result.canonical_rows() == serial.canonical_rows()
+        ), f"{label} rows diverge from serial"
+
+    claims = steal_backend.last_job.claims()
+    assert len(claims) == steal.stats.total
+    assert len({c["key"] for c in claims}) == len(claims)
+
+    document = (
+        json.loads(_RESULT_PATH.read_text())
+        if _RESULT_PATH.exists()
+        else {}
+    )
+    document["backends"] = {
+        "n_trials": serial.stats.total,
+        "workers": workers,
+        "identical_rows": True,
+        "work_stealing_claims": len(claims),
+        **{k: round(v, 4) for k, v in timings.items()},
+    }
+    _RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"[sweep-bench] backends section -> {_RESULT_PATH}",
+        file=sys.stderr,
+        flush=True,
+    )

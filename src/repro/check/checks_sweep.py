@@ -1,17 +1,22 @@
 """Sweep-engine differential checks.
 
 The sweep engine promises that a grid's canonical rows are independent of
-*how* they were computed: serial vs process-parallel execution, and fresh
-execution vs warm-cache replay, must be bit-identical (the determinism
-contract of :mod:`repro.sweep.runner`).  Each round builds a small grid
-over the circuit under check and runs it three ways.
+*how* they were computed: serial vs process-parallel execution, fresh
+execution vs warm-cache replay, and every executor backend — including
+work-stealing workers claiming trials through cache leases — must be
+bit-identical (the determinism contract of :mod:`repro.sweep.runner`).
+Each round builds a small grid over the circuit under check and runs it
+every way.
 """
 
 from __future__ import annotations
 
 import tempfile
+from collections import Counter
 
-from ..sweep.runner import run_sweep
+from ..sweep.backends import CacheWorkStealingBackend
+from ..sweep.cache import ResultCache
+from ..sweep.runner import SweepRunner, run_sweep
 from ..sweep.spec import SweepSpec
 from .core import CheckContext, register
 
@@ -57,6 +62,71 @@ def sweep_modes_identical(ctx: CheckContext) -> None:
             warm.stats.cached == warm.stats.total and warm.stats.executed == 0,
             f"warm re-run executed {warm.stats.executed} of "
             f"{warm.stats.total} trials instead of serving them from cache",
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+
+
+@register(
+    name="sweep-backends-identical",
+    family="sweep",
+    description="serial, local-pool, and work-stealing executor backends "
+    "must produce bit-identical canonical rows, with every work-stealing "
+    "trial executed exactly once (lease accounting)",
+    trial_divisor=25,
+)
+def sweep_backends_identical(ctx: CheckContext) -> None:
+    for round_no in range(ctx.trials):
+        grid_seed = ctx.rng.randrange(1 << 16)
+        spec = SweepSpec(
+            circuits=[ctx.circuit],
+            algorithms=["independent", "dependent"],
+            seeds=[grid_seed, grid_seed + 1],
+            attacks=["none"],
+            analyses=["ppa", "security"],
+            gen_seed=ctx.gen_seed,
+        )
+        serial = run_sweep(spec, workers=1, backend="serial")
+        pool = run_sweep(spec, workers=2, backend="local-pool")
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+            backend = CacheWorkStealingBackend(
+                cache=ResultCache(tmp), workers=2, lease_ttl=60.0
+            )
+            stealing = SweepRunner(
+                workers=2, cache_dir=tmp, backend=backend
+            ).run(spec)
+            claims = backend.last_job.claims() if backend.last_job else []
+        ctx.compare(
+            "sweep rows (serial vs local-pool)",
+            serial.canonical_rows(),
+            pool.canonical_rows(),
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+        ctx.compare(
+            "sweep rows (serial vs work-stealing)",
+            serial.canonical_rows(),
+            stealing.canonical_rows(),
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+        # Lease accounting: every claim records one *execution*; a trial
+        # claimed twice means the lease protocol let two workers run it.
+        claim_counts = Counter(claim["key"] for claim in claims)
+        doubled = {k: n for k, n in claim_counts.items() if n > 1}
+        ctx.require(
+            "no trial executed twice under work-stealing",
+            not doubled,
+            f"{len(doubled)} trial(s) executed more than once: "
+            f"{sorted(doubled.values(), reverse=True)[:4]}",
+            round=round_no,
+            grid_seed=grid_seed,
+        )
+        ctx.require(
+            "claim count matches executed count",
+            len(claims) == stealing.stats.executed == stealing.stats.total,
+            f"{len(claims)} claims for {stealing.stats.executed} executed "
+            f"of {stealing.stats.total} trials",
             round=round_no,
             grid_seed=grid_seed,
         )

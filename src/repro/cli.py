@@ -375,6 +375,69 @@ def _parse_name_list(text: str) -> List[str]:
     return names
 
 
+def _sweep_progress_printer():
+    """Progress sink rendering runner/backend events to stderr; shared by
+    ``sweep`` and the ``submit --stream`` event replay."""
+
+    def progress(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "resume":
+            # The runner emits this event unconditionally (it sizes the
+            # run); only a warm cache is worth a line of output.
+            if event["cached"]:
+                print(
+                    f"[sweep] {event['cached']} of {event['total']} trials "
+                    "already cached",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            return
+        if kind == "fallback":
+            print(
+                f"[sweep] {event.get('reason', 'executor fallback')}",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        if kind == "job":
+            print(
+                f"[sweep] work-stealing job {event.get('job_id')} "
+                f"({event.get('trials')} trials) at {event.get('job_dir')}",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        if kind == "end":
+            print(
+                f"[sweep] job finished: {event.get('state')}",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        if kind != "trial":
+            return
+        eta = f"  eta {event['eta']:.0f}s" if event["eta"] else ""
+        print(
+            f"[sweep {event['done']}/{event['total']}] {event['label']} "
+            f"{event['status']} ({event['trial_seconds']:.1f}s){eta}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return progress
+
+
+def _load_spec_file(path: str):
+    from .sweep import SweepSpec
+
+    import json as _json
+
+    try:
+        return SweepSpec.from_dict(_json.loads(Path(path).read_text()))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {path}: {exc}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import (
         SweepSpec,
@@ -386,12 +449,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     if args.spec:
-        import json as _json
-
-        try:
-            spec = SweepSpec.from_dict(_json.loads(Path(args.spec).read_text()))
-        except (OSError, ValueError) as exc:
-            raise SystemExit(f"error: {args.spec}: {exc}")
+        spec = _load_spec_file(args.spec)
     else:
         spec = SweepSpec(
             circuits=_parse_name_list(args.circuits),
@@ -411,25 +469,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit("error: --max-gates filtered out every circuit")
 
     workers = args.workers if args.workers > 0 else default_workers()
-
-    def progress(event: dict) -> None:
-        if event["event"] == "resume":
-            # The runner emits this event unconditionally (it sizes the
-            # run); only a warm cache is worth a line of output.
-            if event["cached"]:
-                print(
-                    f"[sweep] {event['cached']} of {event['total']} trials "
-                    "already cached",
-                    file=sys.stderr,
-                    flush=True,
-                )
-            return
-        eta = f"  eta {event['eta']:.0f}s" if event["eta"] else ""
-        print(
-            f"[sweep {event['done']}/{event['total']}] {event['label']} "
-            f"{event['status']} ({event['trial_seconds']:.1f}s){eta}",
-            file=sys.stderr,
-            flush=True,
+    backend = None if args.backend == "auto" else args.backend
+    if backend == "work-stealing" and args.no_cache:
+        raise SystemExit(
+            "error: --backend work-stealing needs the result store "
+            "(drop --no-cache)"
         )
 
     result = run_sweep(
@@ -437,7 +481,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         resume=args.resume,
-        progress=None if args.quiet else progress,
+        progress=None if args.quiet else _sweep_progress_printer(),
+        backend=backend,
     )
 
     if args.format == "json":
@@ -463,6 +508,121 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(rendered)
     print(result.stats.summary(), file=sys.stderr)
     return 1 if result.stats.failed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .sweep.service import SweepService
+
+    service = SweepService(
+        args.root,
+        workers=args.workers,
+        backend=None if args.backend == "auto" else args.backend,
+    )
+    print(
+        f"[serve] sweep service at {args.root} "
+        f"({args.workers} workers, backend {args.backend})",
+        file=sys.stderr,
+        flush=True,
+    )
+    if args.once:
+        handled = service.serve(once=True, timeout=args.timeout)
+        failed = 0
+        for job_id in handled:
+            status = service.status(job_id)
+            state = status.get("state")
+            print(
+                f"[serve] job {job_id}: {state} "
+                f"({status.get('failed', 0)} failed trials)",
+                file=sys.stderr,
+                flush=True,
+            )
+            if state != "done" or status.get("failed"):
+                failed += 1
+        return 1 if failed else 0
+    service.serve(poll=args.poll)
+    return 0  # pragma: no cover - loop above never returns
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .sweep.service import SweepService
+
+    if args.job:
+        job_id = args.job
+    else:
+        if not args.spec:
+            raise SystemExit("error: submit needs --spec FILE or --job ID")
+        spec = _load_spec_file(args.spec)
+        job_id = SweepService.enqueue(
+            args.root,
+            spec,
+            workers=args.workers or None,
+            backend=None if args.backend == "auto" else args.backend,
+        )
+        print(f"[submit] queued job {job_id}", file=sys.stderr, flush=True)
+    if args.no_wait:
+        print(job_id)
+        return 0
+
+    service = SweepService(args.root)
+    printer = _sweep_progress_printer()
+    final_state = None
+    if args.stream:
+        try:
+            for event in service.stream(job_id, timeout=args.timeout):
+                printer(event)
+                if event.get("event") == "end":
+                    final_state = event.get("state")
+        except TimeoutError as exc:
+            raise SystemExit(f"error: {exc}")
+    else:
+        try:
+            final_state = service.wait(job_id, timeout=args.timeout).get(
+                "state"
+            )
+        except TimeoutError as exc:
+            raise SystemExit(f"error: {exc}")
+    status = service.status(job_id)
+    print(
+        f"[submit] job {job_id}: {status.get('state')} — "
+        f"{status.get('executed', 0)} executed, "
+        f"{status.get('cached', 0)} cached, "
+        f"{status.get('failed', 0)} failed",
+        file=sys.stderr,
+        flush=True,
+    )
+    print(job_id)
+    return 0 if final_state == "done" and not status.get("failed") else 1
+
+
+def cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from .sweep.backends import default_owner, work_stealing_worker
+    from .sweep.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, reap_tmp_ttl=None)
+    job_id = args.job
+    if not job_id:
+        jobs_root = cache.root / "jobs"
+        candidates = (
+            [p for p in jobs_root.iterdir() if (p / "manifest.json").exists()]
+            if jobs_root.is_dir()
+            else []
+        )
+        if not candidates:
+            raise SystemExit(f"error: no work-stealing jobs under {jobs_root}")
+        job_id = max(
+            candidates, key=lambda p: (p / "manifest.json").stat().st_mtime
+        ).name
+    owner = args.owner or default_owner("cli")
+    print(
+        f"[worker] {owner} joining job {job_id} at {cache.root}",
+        file=sys.stderr,
+        flush=True,
+    )
+    executed = work_stealing_worker(
+        cache.root, job_id, owner, poll_interval=args.poll
+    )
+    print(f"[worker] {owner} executed {executed} trials", file=sys.stderr)
+    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -737,6 +897,14 @@ def build_parser() -> argparse.ArgumentParser:
         "everything but still records results)",
     )
     p_sweep.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "serial", "local-pool", "work-stealing"],
+        help="executor backend (auto = serial for --workers 1, else the "
+        "local process pool; work-stealing claims trials from the shared "
+        "result store via leases)",
+    )
+    p_sweep.add_argument(
         "--format", default="table", choices=["table", "json", "csv"]
     )
     p_sweep.add_argument("--out", default=None, help="write output to a file")
@@ -744,6 +912,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-trial progress"
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the async sweep job service over a service root",
+    )
+    p_serve.add_argument(
+        "--root",
+        default=".sweep-service",
+        help="service root (jobs/, queue/, shared cache/)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="default workers per job"
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "serial", "local-pool", "work-stealing"],
+        help="default executor backend for jobs",
+    )
+    p_serve.add_argument(
+        "--once",
+        action="store_true",
+        help="recover + drain the queue once, wait for those jobs, exit "
+        "(CI mode)",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.2, help="queue poll interval seconds"
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=3600.0,
+        help="with --once: per-job wait timeout seconds",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        parents=[common],
+        help="submit a sweep spec to a service root (or attach to a job)",
+    )
+    p_submit.add_argument(
+        "--root", default=".sweep-service", help="service root to submit to"
+    )
+    p_submit.add_argument(
+        "--spec", default=None, help="JSON SweepSpec file to submit"
+    )
+    p_submit.add_argument(
+        "--job",
+        default=None,
+        help="attach to an existing job id instead of submitting a spec",
+    )
+    p_submit.add_argument(
+        "--workers", type=int, default=0, help="workers for this job"
+    )
+    p_submit.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "serial", "local-pool", "work-stealing"],
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting",
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="replay + follow the job's progress events while waiting",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=3600.0, help="wait timeout seconds"
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_worker = sub.add_parser(
+        "sweep-worker",
+        parents=[common],
+        help="join a work-stealing sweep job as an extra worker "
+        "(runs on any host sharing the cache directory)",
+    )
+    p_worker.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="the shared result store the job was started against",
+    )
+    p_worker.add_argument(
+        "--job",
+        default=None,
+        help="job id under <cache>/jobs/ (default: the newest)",
+    )
+    p_worker.add_argument(
+        "--owner", default=None, help="worker identity for lease accounting"
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.05, help="poll interval seconds"
+    )
+    p_worker.set_defaults(func=cmd_sweep_worker)
 
     p_lint = sub.add_parser(
         "lint", parents=[common], help="static analysis: structural/security/timing rules"

@@ -99,31 +99,128 @@ ATTACK_COLUMNS: Tuple[Tuple[str, str], ...] = (
 )
 
 
+class RunningStat:
+    """Streaming mean/stdev (Welford), rendered like :func:`mean_std`.
+
+    One instance per (group, column) cell lets :class:`StreamSummary`
+    aggregate a sweep row-by-row without ever materialising the groups —
+    the memory cost is one small object per *output* cell, independent of
+    trial count.
+    """
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    def stdev(self) -> float:
+        """Sample standard deviation (matches ``statistics.stdev``)."""
+        if self.n < 2:
+            return 0.0
+        return (self.m2 / (self.n - 1)) ** 0.5
+
+    def render(self) -> str:
+        if self.n == 0:
+            return "-"
+        if self.n == 1:
+            return f"{self.mean:.1f}"
+        return f"{self.mean:.1f}±{self.stdev():.1f}"
+
+
+class StreamSummary:
+    """Incremental grouped summary fed one row at a time.
+
+    The streaming counterpart of :func:`summarize` (which is now a thin
+    wrapper over this class, so the two can never drift apart): feed it
+    ``(index, row)`` pairs straight off :meth:`SweepRunner.stream` and
+    render at the end.  Non-ok rows are counted but excluded from the
+    aggregates, exactly like the batch path.
+    """
+
+    def __init__(
+        self,
+        by: Sequence[str] = ("circuit", "algorithm"),
+        columns: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        self.by = tuple(by)
+        self._explicit_columns = (
+            list(columns) if columns is not None else None
+        )
+        # With default columns the attack block is included lazily: it
+        # appears iff any ok row carried an attack metric, decided at
+        # render time (stats for it are tracked unconditionally).
+        self._tracked: List[Tuple[str, str]] = (
+            self._explicit_columns
+            if self._explicit_columns is not None
+            else list(SUMMARY_COLUMNS) + list(ATTACK_COLUMNS)
+        )
+        self._has_attack = False
+        self._groups: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self.rows_seen = 0
+        self.ok_rows = 0
+
+    def add(self, row: Mapping[str, Any]) -> None:
+        self.rows_seen += 1
+        if row.get("status") != "ok":
+            return
+        self.ok_rows += 1
+        if _metric(row, "attack.attack"):
+            self._has_attack = True
+        key = tuple(row["trial"][field] for field in self.by)
+        group = self._groups.get(key)
+        if group is None:
+            group = {
+                "count": 0,
+                "stats": [RunningStat() for _ in self._tracked],
+            }
+            self._groups[key] = group
+        group["count"] += 1
+        for stat, (_, path) in zip(group["stats"], self._tracked):
+            value = _metric(row, path)
+            if value is not None:
+                stat.add(float(value))
+
+    def _visible(self) -> List[int]:
+        """Indices of tracked columns that make it into the output."""
+        if self._explicit_columns is not None or self._has_attack:
+            return list(range(len(self._tracked)))
+        return list(range(len(SUMMARY_COLUMNS)))
+
+    def result(self) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        visible = self._visible()
+        headers = [
+            *self.by,
+            "trials",
+            *(self._tracked[i][0] for i in visible),
+        ]
+        out: List[Tuple[Any, ...]] = []
+        for key, group in self._groups.items():
+            cells: List[Any] = [*key, group["count"]]
+            for i in visible:
+                cells.append(group["stats"][i].render())
+            out.append(tuple(cells))
+        return headers, out
+
+
 def summarize(
-    rows: Sequence[Mapping[str, Any]],
+    rows: Iterable[Mapping[str, Any]],
     by: Sequence[str] = ("circuit", "algorithm"),
     columns: Optional[Sequence[Tuple[str, str]]] = None,
 ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
     """Aggregate ok-rows into (headers, table rows): one output row per
     group, metric cells averaged (μ±σ across seeds where n > 1)."""
-    ok = [r for r in rows if r.get("status") == "ok"]
-    if columns is None:
-        columns = list(SUMMARY_COLUMNS)
-        if any(_metric(r, "attack.attack") for r in ok):
-            columns += list(ATTACK_COLUMNS)
-    headers = [*by, "trials", *(header for header, _ in columns)]
-    out: List[Tuple[Any, ...]] = []
-    for key, group in group_rows(ok, by).items():
-        cells: List[Any] = [*key, len(group)]
-        for _, path in columns:
-            values = [
-                float(v)
-                for v in (_metric(row, path) for row in group)
-                if v is not None
-            ]
-            cells.append(mean_std(values))
-        out.append(tuple(cells))
-    return headers, out
+    summary = StreamSummary(by=by, columns=columns)
+    for row in rows:
+        summary.add(row)
+    return summary.result()
 
 
 def render_table(

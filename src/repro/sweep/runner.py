@@ -1,36 +1,51 @@
-"""The sweep engine: serial or process-parallel trial execution.
+"""The sweep engine: cache resolution + pluggable executor backends.
 
 Design:
 
-* **Chunked scheduling** — pending trials are grouped circuit-major into
-  chunks and each chunk is one pool task, so a worker amortises its warm
-  caches (netlist + compiled simulator, see :mod:`repro.sweep.trial`)
-  over many trials of the same circuit instead of ping-ponging between
-  circuits, and the per-task IPC overhead is paid once per chunk.
+* **Backends** — the runner decides *what* runs (cache resolution, row
+  accounting, progress, tracing) and an :mod:`repro.sweep.backends`
+  executor decides *how*: in-process serial, a chunked local process
+  pool, or cache work-stealing workers that may live on other hosts.
+  ``workers=1`` (or a single pending trial) selects the serial backend;
+  otherwise the local pool is the default.
+* **Streaming** — :meth:`SweepRunner.stream` yields ``(index, row)``
+  pairs in completion order as trials finish, feeding incremental
+  aggregates (:class:`repro.sweep.aggregate.StreamSummary`) so a 100x
+  trial count never has to hold every row in memory at once.
+  :meth:`SweepRunner.run` consumes the stream and reassembles spec
+  order for callers that want the classic :class:`SweepResult`.
 * **Graceful failure** — a trial that raises becomes a ``failed`` row
-  (handled inside the worker); a worker process that *dies* (OOM-killed,
-  segfault in a native wheel, ``os._exit``) breaks the pool, and the
-  runner falls back to executing every still-unfinished trial serially
-  in the parent.  A sweep always returns one row per trial.
+  (handled inside the worker); a pool worker that *dies* (OOM-killed,
+  segfault in a native wheel, ``os._exit``) breaks the pool and the
+  local-pool backend finishes the unfinished trials serially in the
+  parent — recorded in ``SweepStats.fallback_serial`` and announced as
+  an ``{"event": "fallback"}`` progress event.  A sweep always yields
+  one row per trial.
 * **Resume** — with a :class:`~repro.sweep.cache.ResultCache`, completed
   trials are served from disk and only the missing ones execute.  Cached
   and fresh rows are bit-identical in their canonical view (timing is
   the only non-deterministic field, and it is excluded — see
   :func:`repro.sweep.trial.canonical_row`).
-* **Determinism** — rows come back in spec order regardless of worker
-  count or completion order, and each trial seeds its own RNG streams
-  from its identity, so ``workers=N`` and ``workers=1`` produce
-  identical results.
+* **Determinism** — each trial seeds its own RNG streams from its
+  identity, so every backend and worker count produces identical
+  canonical rows (the ``sweep-backends-identical`` check proves it).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..obs import (
     SpanRecord,
@@ -41,11 +56,18 @@ from ..obs import (
     set_gauge,
     span,
 )
+from .backends import (
+    LocalPoolBackend,
+    SerialBackend,
+    failed_row,
+    make_backend,
+)
 from .cache import ResultCache, trial_key
 from .spec import SweepSpec, Trial
-from .trial import canonical_row, circuit_sha, run_trial
+from .trial import canonical_row, circuit_sha
 
-#: Progress callbacks receive one of these per completed trial.
+#: Progress callbacks receive one event dict per completed trial (plus
+#: the initial ``resume`` event and backend events such as ``fallback``).
 ProgressFn = Callable[[Dict[str, Any]], None]
 
 
@@ -57,15 +79,27 @@ class SweepStats:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    #: Rows settled so far (cached + resolve failures + completed trials);
+    #: maintained incrementally so progress events are O(1) per trial.
+    done: int = 0
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Which executor backend ran the pending trials.
+    backend: str = "serial"
+    #: True when the process pool died mid-run and the remaining trials
+    #: were finished serially in the parent.
+    fallback_serial: bool = False
 
     def summary(self) -> str:
-        return (
+        text = (
             f"sweep: {self.total} trials: {self.executed} executed, "
             f"{self.cached} cached, {self.failed} failed "
-            f"in {self.wall_seconds:.1f}s ({self.workers} workers)"
+            f"in {self.wall_seconds:.1f}s "
+            f"({self.workers} workers, {self.backend})"
         )
+        if self.fallback_serial:
+            text += " [pool died; finished serially]"
+        return text
 
 
 @dataclass
@@ -83,32 +117,18 @@ class SweepResult:
         return [r for r in self.rows if r.get("status") != "ok"]
 
     def canonical_rows(self) -> List[Dict[str, Any]]:
-        """The deterministic view used for serial/parallel equivalence."""
+        """The deterministic view used for backend equivalence."""
         return [canonical_row(r) for r in self.rows]
 
 
-def _run_chunk(trials: Sequence[Trial]) -> List[Dict[str, Any]]:
-    """Pool task: execute a chunk of trials in one worker."""
-    return [run_trial(t) for t in trials]
-
-
-def _chunked(
-    pending: List[Tuple[int, Trial]], workers: int, chunksize: Optional[int]
-) -> List[List[Tuple[int, Trial]]]:
-    """Split pending trials into pool tasks, circuit-major for warm-cache
-    locality, sized so every worker gets several chunks (load balance)."""
-    ordered = sorted(
-        pending, key=lambda item: (item[1].circuit, item[1].algorithm, item[0])
-    )
-    if chunksize is None:
-        chunksize = max(1, min(len(ordered) // (workers * 4) or 1, 32))
-    return [
-        ordered[i : i + chunksize] for i in range(0, len(ordered), chunksize)
-    ]
-
-
 class SweepRunner:
-    """Executes a :class:`SweepSpec`; see the module docstring."""
+    """Executes a :class:`SweepSpec`; see the module docstring.
+
+    ``backend`` may be ``None`` (pick serial or local-pool from
+    ``workers``/pending count, the historical behavior), a backend name
+    from :data:`repro.sweep.backends.BACKEND_NAMES`, or a constructed
+    backend instance.
+    """
 
     def __init__(
         self,
@@ -117,6 +137,7 @@ class SweepRunner:
         resume: bool = True,
         progress: Optional[ProgressFn] = None,
         chunksize: Optional[int] = None,
+        backend: Optional[Union[str, Any]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -125,22 +146,43 @@ class SweepRunner:
         self.resume = resume
         self.progress = progress
         self.chunksize = chunksize
+        self.backend = backend
+        #: Stats of the in-flight (or most recent) run.
+        self.stats = SweepStats()
         #: Root span of the in-flight run; worker span trees are merged
         #: under it (None while no traced run is active).
         self._run_span: Optional[SpanRecord] = None
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute *spec* and return every row in spec order."""
+        trials_total = len(spec.trials())
+        rows: List[Optional[Dict[str, Any]]] = [None] * trials_total
+        for index, row in self.stream(spec):
+            rows[index] = row
+        assert all(row is not None for row in rows)
+        return SweepResult(spec=spec, rows=list(rows), stats=self.stats)
+
+    def stream(
+        self, spec: SweepSpec
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Execute *spec*, yielding ``(index, row)`` in completion order.
+
+        Cached rows and resolve-stage failures are yielded first (resolve
+        order), then executed trials as their backend completes them.
+        ``self.stats`` is updated incrementally and is final once the
+        iterator is exhausted.
+        """
         clock = Stopwatch()
         trials = spec.trials()
         stats = SweepStats(total=len(trials), workers=self.workers)
-        rows: List[Optional[Dict[str, Any]]] = [None] * len(trials)
+        self.stats = stats
         keys: List[Optional[str]] = [None] * len(trials)
 
         # ``wall_seconds`` is accounted in a ``finally`` so every exit —
-        # the happy path, the BrokenProcessPool serial fallback, even an
-        # exception propagating out of a stage — leaves the stats with
-        # real wall time instead of the 0.0 default.
+        # the happy path, the serial fallback, an abandoned iterator,
+        # even an exception propagating out of a stage — leaves the
+        # stats with real wall time instead of the 0.0 default.
         try:
             with span(
                 "sweep.run", trials=len(trials), workers=self.workers
@@ -154,12 +196,15 @@ class SweepRunner:
                 # circuit that cannot even be loaded fails its trials up
                 # front.
                 pending: List[Tuple[int, Trial]] = []
+                resolved: List[Tuple[int, Trial, Dict[str, Any], bool]] = []
                 with span("sweep.resolve") as resolve_span:
                     for index, trial in enumerate(trials):
                         try:
                             sha = circuit_sha(trial.circuit, trial.gen_seed)
                         except Exception as exc:  # noqa: BLE001 - recorded as data
-                            rows[index] = self._failed_row(trial, exc)
+                            resolved.append(
+                                (index, trial, failed_row(trial, exc), True)
+                            )
                             continue
                         keys[index] = trial_key(trial, sha)
                         cached = None
@@ -167,7 +212,7 @@ class SweepRunner:
                             cached = self.cache.get(keys[index])
                         if cached is not None and cached.get("status") == "ok":
                             cached.setdefault("timing", {})["from_cache"] = True
-                            rows[index] = cached
+                            resolved.append((index, trial, cached, False))
                             stats.cached += 1
                         else:
                             pending.append((index, trial))
@@ -176,66 +221,82 @@ class SweepRunner:
                     )
                 add_counter("sweep.cache_hits", stats.cached)
 
-                self._emit_initial(rows, stats, clock)
+                # The resume event announces the sweep size with cached
+                # rows pre-counted; resolve failures then emit ordinary
+                # failed-trial events (they used to bypass progress
+                # entirely, under-counting ``done`` against ``total``).
+                stats.done = stats.cached
+                self._emit_initial(stats, clock)
+                for index, trial, row, resolve_failed in resolved:
+                    if resolve_failed:
+                        stats.done += 1
+                        stats.failed += 1
+                        self._emit(trial, row, stats, clock)
+                    yield index, row
 
                 if pending:
-                    if self.workers == 1 or len(pending) == 1:
-                        self._run_serial(pending, rows, keys, stats, clock)
-                    else:
-                        self._run_parallel(pending, rows, keys, stats, clock)
+                    executor = self._resolve_executor(len(pending))
+                    stats.backend = executor.name
+                    for index, trial, row in executor.execute(
+                        pending, notify=self._notify
+                    ):
+                        stats.executed += 1
+                        stats.done += 1
+                        if row.get("status") != "ok":
+                            stats.failed += 1
+                        self._merge_trial_trace(row)
+                        if (
+                            self.cache is not None
+                            and not executor.writes_cache
+                            and keys[index] is not None
+                            and row.get("status") == "ok"
+                        ):
+                            # Failures are not cached: a resume retries
+                            # them.
+                            self.cache.put(keys[index], row)
+                        self._emit(trial, row, stats, clock)
+                        yield index, row
+                    if getattr(executor, "fallback_serial", False):
+                        stats.fallback_serial = True
 
-                stats.failed = sum(
-                    1
-                    for row in rows
-                    if row is not None and row["status"] != "ok"
-                )
                 run_span.set(
                     executed=stats.executed,
                     cached=stats.cached,
                     failed=stats.failed,
+                    backend=stats.backend,
                 )
         finally:
             stats.wall_seconds = clock.elapsed()
             self._run_span = None
-        set_gauge("sweep.wall_seconds", stats.wall_seconds)
-        assert all(row is not None for row in rows)
-        return SweepResult(spec=spec, rows=list(rows), stats=stats)
+            set_gauge("sweep.wall_seconds", stats.wall_seconds)
 
     # ------------------------------------------------------------------
+    def _resolve_executor(self, pending_count: int) -> Any:
+        if self.backend is None:
+            if self.workers == 1 or pending_count == 1:
+                return SerialBackend()
+            return LocalPoolBackend(
+                workers=self.workers, chunksize=self.chunksize
+            )
+        if isinstance(self.backend, str):
+            return make_backend(
+                self.backend,
+                self.workers,
+                cache=self.cache,
+                chunksize=self.chunksize,
+            )
+        return self.backend
+
+    def _notify(self, event: Dict[str, Any]) -> None:
+        """Forward a backend-level event into stats and progress."""
+        if event.get("event") == "fallback":
+            self.stats.fallback_serial = True
+            add_counter("sweep.pool_fallbacks")
+        if self.progress is not None:
+            self.progress(dict(event))
+
     def _failed_row(self, trial: Trial, exc: BaseException) -> Dict[str, Any]:
-        from .cache import RESULT_SCHEMA
-
-        return {
-            "schema": RESULT_SCHEMA,
-            "trial": trial.identity(),
-            "netlist_sha": None,
-            "status": "failed",
-            "error": f"{type(exc).__name__}: {exc}",
-            "metrics": None,
-            "timing": {},
-        }
-
-    def _record(
-        self,
-        index: int,
-        trial: Trial,
-        row: Dict[str, Any],
-        rows: List[Optional[Dict[str, Any]]],
-        keys: List[Optional[str]],
-        stats: SweepStats,
-        clock: Stopwatch,
-    ) -> None:
-        rows[index] = row
-        stats.executed += 1
-        self._merge_trial_trace(row)
-        if (
-            self.cache is not None
-            and keys[index] is not None
-            and row.get("status") == "ok"
-        ):
-            # Failures are not cached: a resume retries them.
-            self.cache.put(keys[index], row)
-        self._emit(trial, row, rows, stats, clock)
+        return failed_row(trial, exc)
 
     def _merge_trial_trace(self, row: Dict[str, Any]) -> None:
         """Fold an *executed* trial's span tree (recorded in the worker,
@@ -256,9 +317,7 @@ class SweepRunner:
                 label=str((row.get("trial") or {}).get("circuit")),
             )
 
-    def _emit_initial(
-        self, rows, stats: SweepStats, clock: Stopwatch
-    ) -> None:
+    def _emit_initial(self, stats: SweepStats, clock: Stopwatch) -> None:
         # Always emitted when a progress sink is attached — a cold run
         # (``cached == 0``) still announces the sweep's size, so consumers
         # can size progress bars without special-casing the first event.
@@ -267,7 +326,7 @@ class SweepRunner:
         self.progress(
             {
                 "event": "resume",
-                "done": sum(1 for r in rows if r is not None),
+                "done": stats.done,
                 "total": stats.total,
                 "cached": stats.cached,
                 "elapsed": clock.elapsed(),
@@ -288,22 +347,22 @@ class SweepRunner:
         self,
         trial: Trial,
         row: Dict[str, Any],
-        rows,
         stats: SweepStats,
         clock: Stopwatch,
     ) -> None:
         if self.progress is None:
             return
-        done = sum(1 for r in rows if r is not None)
+        # ``stats.done`` is maintained incrementally; recomputing it by
+        # scanning the rows here was O(n²) across a sweep.
         elapsed = clock.elapsed()
-        remaining = stats.total - done
+        remaining = stats.total - stats.done
         eta = self._eta(elapsed, stats.executed, remaining)
         self.progress(
             {
                 "event": "trial",
                 "label": trial.label(),
                 "status": row.get("status"),
-                "done": done,
+                "done": stats.done,
                 "total": stats.total,
                 "elapsed": elapsed,
                 "eta": eta,
@@ -313,72 +372,6 @@ class SweepRunner:
             }
         )
 
-    # ------------------------------------------------------------------
-    def _run_serial(
-        self, pending, rows, keys, stats: SweepStats, clock: Stopwatch
-    ) -> None:
-        for index, trial in pending:
-            if rows[index] is not None:
-                continue
-            self._record(
-                index, trial, run_trial(trial), rows, keys, stats, clock
-            )
-
-    def _run_parallel(
-        self, pending, rows, keys, stats: SweepStats, clock: Stopwatch
-    ) -> None:
-        chunks = _chunked(pending, self.workers, self.chunksize)
-        broken = False
-        try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(_run_chunk, [t for _, t in chunk]): chunk
-                    for chunk in chunks
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        chunk = futures[future]
-                        exc = future.exception()
-                        if exc is None:
-                            for (index, trial), row in zip(
-                                chunk, future.result()
-                            ):
-                                self._record(
-                                    index, trial, row, rows, keys, stats,
-                                    clock,
-                                )
-                        elif isinstance(exc, BrokenProcessPool):
-                            broken = True
-                        else:
-                            # The chunk failed as a unit (e.g. a result
-                            # that would not pickle): fail its trials.
-                            for index, trial in chunk:
-                                self._record(
-                                    index,
-                                    trial,
-                                    self._failed_row(trial, exc),
-                                    rows, keys, stats, clock,
-                                )
-                    if broken:
-                        break
-        except BrokenProcessPool:
-            broken = True
-        if broken:
-            # A worker died hard and took the pool with it.  Whatever has
-            # no row yet — the crashed chunk and everything still queued —
-            # runs serially in the parent, where a per-trial failure is
-            # captured as data instead of killing the sweep.
-            leftovers = [
-                (index, trial)
-                for index, trial in pending
-                if rows[index] is None
-            ]
-            self._run_serial(leftovers, rows, keys, stats, clock)
-
 
 def run_sweep(
     spec: SweepSpec,
@@ -387,6 +380,7 @@ def run_sweep(
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
     chunksize: Optional[int] = None,
+    backend: Optional[Union[str, Any]] = None,
 ) -> SweepResult:
     """Convenience wrapper: build a :class:`SweepRunner` and run *spec*."""
     runner = SweepRunner(
@@ -395,6 +389,7 @@ def run_sweep(
         resume=resume,
         progress=progress,
         chunksize=chunksize,
+        backend=backend,
     )
     return runner.run(spec)
 

@@ -1,0 +1,401 @@
+"""Async sweep job service: submit specs, poll status, stream progress.
+
+:class:`SweepService` turns the sweep engine into a long-lived front end
+for many clients: a *job* is a persisted :class:`SweepSpec` plus its
+execution state, all of it plain files under the service root —
+
+::
+
+    <root>/
+      cache/                  shared ResultCache (all jobs resume off it)
+      queue/<job_id>.json     submissions from out-of-process clients
+      jobs/<job_id>/
+        manifest.json         spec + execution options (what to run)
+        status.json           live state: queued/running/done/error + stats
+        events.jsonl          progress events (resume/trial/fallback/end)
+        rows.jsonl            completed rows, streamed as they finish
+        trace.json            Chrome trace of the run (spans + counters)
+
+so ``status`` / ``stream`` / ``result`` work from *any* process pointed
+at the root — the CLI's ``repro-lock submit`` talks to a ``repro-lock
+serve`` purely through the filesystem, and a restarted service
+:meth:`recover`\\ s interrupted jobs (the shared cache makes the re-run
+serve every already-completed trial from disk).
+
+Jobs execute one at a time on a worker thread: the :mod:`repro.obs`
+recorder slot is process-global, and the sweep's own backend provides
+all the intra-job parallelism (including multi-host work stealing).
+
+Event stream contract: every job's ``events.jsonl`` ends with exactly
+one ``{"event": "end", "state": ...}`` line — that is what
+:meth:`stream` tails for, so consumers never need inotify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..obs import Recorder, to_chrome_trace, use_recorder
+from .cache import atomic_write_json
+from .runner import SweepRunner
+from .spec import SweepSpec, canonical_json
+
+#: Job states; ``done`` and ``error`` are terminal.  ``done`` means the
+#: sweep produced one row per trial (individual trials may still have
+#: ``status: "failed"`` — see ``stats.failed``); ``error`` means the job
+#: itself crashed.
+JOB_STATES = ("queued", "running", "done", "error")
+TERMINAL_STATES = ("done", "error")
+
+
+def new_job_id(spec: SweepSpec) -> str:
+    """A short, collision-resistant job id (spec digest + nonce)."""
+    payload = canonical_json(spec.to_dict()) + os.urandom(8).hex()
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+class SweepService:
+    """Filesystem-backed async job API over the sweep engine."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        workers: int = 1,
+        backend: Optional[str] = None,
+    ):
+        self.root = Path(root)
+        self.workers = workers
+        self.backend = backend
+        self.cache_dir = self.root / "cache"
+        self.jobs_dir = self.root / "jobs"
+        self.queue_dir = self.root / "queue"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        # One job at a time: the obs recorder slot is process-global and
+        # the job's own executor backend supplies the parallelism.
+        self._run_lock = threading.Lock()
+        self._threads: Dict[str, threading.Thread] = {}
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def _manifest_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "manifest.json"
+
+    def _status_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "status.json"
+
+    def _events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def _rows_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "rows.jsonl"
+
+    # ------------------------------------------------------------------
+    # job API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: SweepSpec,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        job_id: Optional[str] = None,
+        start: bool = True,
+    ) -> str:
+        """Persist *spec* as a job and (by default) start executing it on
+        a worker thread.  Returns the job id immediately."""
+        job_id = job_id or new_job_id(spec)
+        atomic_write_json(
+            self._manifest_path(job_id),
+            {
+                "job_id": job_id,
+                "spec": spec.to_dict(),
+                "workers": workers if workers is not None else self.workers,
+                "backend": backend if backend is not None else self.backend,
+                "submitted": time.time(),
+            },
+        )
+        self._write_status(job_id, "queued")
+        if start:
+            self.start(job_id)
+        return job_id
+
+    def start(self, job_id: str) -> None:
+        """Launch (or re-launch) a persisted job on a worker thread."""
+        existing = self._threads.get(job_id)
+        if existing is not None and existing.is_alive():
+            return
+        thread = threading.Thread(
+            target=self._execute,
+            args=(job_id,),
+            name=f"sweep-job-{job_id}",
+            daemon=True,
+        )
+        self._threads[job_id] = thread
+        thread.start()
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's persisted state; raises ``KeyError`` for unknown ids."""
+        try:
+            return json.loads(self._status_path(job_id).read_text())
+        except OSError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        out = []
+        if self.jobs_dir.is_dir():
+            for path in sorted(self.jobs_dir.iterdir()):
+                if (path / "status.json").exists():
+                    out.append(self.status(path.name))
+        return out
+
+    def stream(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.05,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's progress events from the beginning, following
+        the live file until the terminal ``end`` event (or *timeout*
+        seconds without one, which raises ``TimeoutError``)."""
+        self.status(job_id)  # existence check
+        path = self._events_path(job_id)
+        deadline = time.time() + timeout
+        offset = 0
+        while True:
+            chunk = ""
+            try:
+                with open(path, "r") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+                    offset = handle.tell()
+            except OSError:
+                pass  # job not started yet; keep polling
+            progressed = False
+            if chunk:
+                # Only complete lines are events; a partially flushed
+                # tail is re-read on the next pass.
+                complete, _, tail = chunk.rpartition("\n")
+                offset -= len(tail)
+                for line in complete.splitlines():
+                    if not line.strip():
+                        continue
+                    event = json.loads(line)
+                    progressed = True
+                    yield event
+                    if event.get("event") == "end":
+                        return
+            if not progressed:
+                if time.time() > deadline:
+                    raise TimeoutError(
+                        f"job {job_id} produced no event for {timeout}s "
+                        f"(state: {self.status(job_id).get('state')})"
+                    )
+                time.sleep(poll)
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state; returns it."""
+        deadline = time.time() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.time() > deadline:
+                raise TimeoutError(f"job {job_id} still {status.get('state')}")
+            time.sleep(0.05)
+
+    def result(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's rows in spec order (raises if the job is not done).
+
+        ``rows.jsonl`` is append-only across recoveries, so for a trial
+        that appears twice (a job re-run after a service restart) the
+        last write wins.
+        """
+        status = self.status(job_id)
+        if status.get("state") != "done":
+            raise RuntimeError(
+                f"job {job_id} is {status.get('state')}, not done"
+            )
+        by_index: Dict[int, Dict[str, Any]] = {}
+        for line in self._rows_path(job_id).read_text().splitlines():
+            if line.strip():
+                record = json.loads(line)
+                by_index[int(record["index"])] = record["row"]
+        return [by_index[i] for i in sorted(by_index)]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _write_status(self, job_id: str, state: str, **extra: Any) -> None:
+        atomic_write_json(
+            self._status_path(job_id),
+            {"job_id": job_id, "state": state, "updated": time.time(), **extra},
+        )
+
+    def _append_event(self, job_id: str, event: Dict[str, Any]) -> None:
+        with open(self._events_path(job_id), "a") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def _execute(self, job_id: str) -> None:
+        with self._run_lock:
+
+            def progress(event: Dict[str, Any]) -> None:
+                self._append_event(job_id, event)
+                if event.get("event") in ("resume", "trial"):
+                    self._write_status(
+                        job_id,
+                        "running",
+                        done=event.get("done"),
+                        total=event.get("total"),
+                    )
+
+            recorder = Recorder()
+            rows_path = self._rows_path(job_id)
+            try:
+                # Inside the try on purpose: an unreadable manifest or a
+                # spec that no longer validates must land the job in the
+                # ``error`` state, not kill the worker thread silently.
+                manifest = json.loads(
+                    self._manifest_path(job_id).read_text()
+                )
+                spec = SweepSpec.from_dict(manifest["spec"])
+                self._write_status(job_id, "running")
+                runner = SweepRunner(
+                    workers=int(manifest.get("workers") or 1),
+                    cache_dir=self.cache_dir,
+                    progress=progress,
+                    backend=manifest.get("backend"),
+                )
+                with use_recorder(recorder):
+                    with open(rows_path, "a") as rows_file:
+                        for index, row in runner.stream(spec):
+                            rows_file.write(
+                                json.dumps(
+                                    {"index": index, "row": row},
+                                    sort_keys=True,
+                                )
+                                + "\n"
+                            )
+                            rows_file.flush()
+                stats = runner.stats
+                final = {
+                    "total": stats.total,
+                    "done": stats.done,
+                    "executed": stats.executed,
+                    "cached": stats.cached,
+                    "failed": stats.failed,
+                    "wall_seconds": stats.wall_seconds,
+                    "backend": stats.backend,
+                    "fallback_serial": stats.fallback_serial,
+                }
+                self._write_status(job_id, "done", **final)
+                self._append_event(
+                    job_id, {"event": "end", "state": "done", **final}
+                )
+            except Exception as exc:  # noqa: BLE001 - job state, not a crash
+                error = f"{type(exc).__name__}: {exc}"
+                self._write_status(job_id, "error", error=error)
+                self._append_event(
+                    job_id, {"event": "end", "state": "error", "error": error}
+                )
+            finally:
+                try:
+                    atomic_write_json(
+                        self.job_dir(job_id) / "trace.json",
+                        to_chrome_trace(recorder),
+                    )
+                except Exception:  # noqa: BLE001 - trace is best-effort
+                    pass
+
+    # ------------------------------------------------------------------
+    # recovery + out-of-process queue
+    # ------------------------------------------------------------------
+    def recover(self) -> List[str]:
+        """Re-launch every job that was queued or mid-run when the
+        previous service process died.  Cheap: completed trials come
+        straight back out of the shared cache."""
+        recovered = []
+        for status in self.list_jobs():
+            if status.get("state") in TERMINAL_STATES:
+                continue
+            job_id = status["job_id"]
+            thread = self._threads.get(job_id)
+            if thread is not None and thread.is_alive():
+                continue
+            self.start(job_id)
+            recovered.append(job_id)
+        return recovered
+
+    @staticmethod
+    def enqueue(
+        root: Union[str, Path],
+        spec: SweepSpec,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> str:
+        """Client-side submit: drop a submission into ``<root>/queue/``
+        for a ``serve`` process (possibly on another host) to pick up."""
+        job_id = new_job_id(spec)
+        atomic_write_json(
+            Path(root) / "queue" / f"{job_id}.json",
+            {
+                "job_id": job_id,
+                "spec": spec.to_dict(),
+                "workers": workers,
+                "backend": backend,
+            },
+        )
+        return job_id
+
+    def drain_queue(self) -> List[str]:
+        """Admit every queued submission as a started job."""
+        started = []
+        if not self.queue_dir.is_dir():
+            return started
+        for path in sorted(self.queue_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue  # an atomic_write_json temp file mid-flight
+            try:
+                submission = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # partially visible; retry next pass
+            self.submit(
+                SweepSpec.from_dict(submission["spec"]),
+                workers=submission.get("workers"),
+                backend=submission.get("backend"),
+                job_id=submission.get("job_id"),
+            )
+            started.append(submission.get("job_id", path.stem))
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return started
+
+    def serve(
+        self,
+        poll: float = 0.2,
+        once: bool = False,
+        timeout: float = 3600.0,
+    ) -> List[str]:
+        """Run the service loop: recover interrupted jobs, then admit
+        queue submissions as they arrive.  With ``once=True`` (CI mode)
+        the loop drains the queue a single time, waits for every admitted
+        job to finish, and returns their ids."""
+        handled = self.recover()
+        if once:
+            handled += self.drain_queue()
+            for job_id in handled:
+                self.wait(job_id, timeout=timeout)
+            return handled
+        while True:  # pragma: no cover - exercised via once=True in tests
+            handled += self.drain_queue()
+            time.sleep(poll)

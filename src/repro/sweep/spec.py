@@ -83,6 +83,22 @@ class Trial:
             "gen_seed": self.gen_seed,
         }
 
+    @classmethod
+    def from_identity(cls, identity: Mapping[str, Any]) -> "Trial":
+        """Rebuild a trial from its :meth:`identity` JSON — the inverse
+        used by work-stealing workers reading a job manifest.  Round-trip
+        exact: ``Trial.from_identity(t.identity()) == t``."""
+        return cls(
+            circuit=identity["circuit"],
+            algorithm=identity["algorithm"],
+            seed=identity["seed"],
+            attack=identity.get("attack", "none"),
+            analyses=tuple(identity.get("analyses", ("ppa", "security"))),
+            params=_sorted_items(identity.get("params", {})),
+            attack_params=_sorted_items(identity.get("attack_params", {})),
+            gen_seed=identity.get("gen_seed", 2016),
+        )
+
     @property
     def attack_seed(self) -> int:
         """Deterministic per-trial RNG seed for the attack stage."""

@@ -1,0 +1,178 @@
+"""The async sweep job service: submit/status/stream/result, recovery
+after a dead service process, the out-of-process queue, and the
+``repro-lock serve`` / ``submit`` CLI flow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import SweepSpec, canonical_row, run_sweep
+from repro.sweep.service import SweepService, new_job_id
+
+SPEC = SweepSpec(circuits=("s27",), algorithms=("independent",), seeds=(0, 1))
+
+
+def test_submit_wait_result_matches_direct_run(tmp_path):
+    service = SweepService(tmp_path, workers=1)
+    job_id = service.submit(SPEC)
+    status = service.wait(job_id, timeout=120)
+    assert status["state"] == "done"
+    assert status["total"] == 2 and status["failed"] == 0
+    assert status["done"] == 2
+
+    rows = service.result(job_id)
+    direct = run_sweep(SPEC, workers=1)
+    assert [canonical_row(r) for r in rows] == direct.canonical_rows()
+
+    # The job's artifacts are all on disk: manifest, events, rows, trace.
+    job_dir = service.job_dir(job_id)
+    manifest = json.loads((job_dir / "manifest.json").read_text())
+    assert manifest["spec"]["circuits"] == ["s27"]
+    assert (job_dir / "trace.json").exists()
+
+
+def test_stream_replays_and_terminates_on_end(tmp_path):
+    service = SweepService(tmp_path, workers=1)
+    job_id = service.submit(SPEC)
+    events = list(service.stream(job_id, timeout=120))
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "resume"
+    assert kinds.count("trial") == 2
+    assert kinds[-1] == "end" and events[-1]["state"] == "done"
+    # A second stream of the finished job replays the same history.
+    assert [e["event"] for e in service.stream(job_id, timeout=10)] == kinds
+
+
+def test_status_unknown_job_and_not_done_result(tmp_path):
+    service = SweepService(tmp_path)
+    with pytest.raises(KeyError):
+        service.status("nope")
+    job_id = service.submit(SPEC, start=False)
+    assert service.status(job_id)["state"] == "queued"
+    with pytest.raises(RuntimeError, match="queued"):
+        service.result(job_id)
+
+
+def test_job_error_state_on_bad_manifest(tmp_path):
+    service = SweepService(tmp_path)
+    job_id = service.submit(SPEC, backend="work-stealing", start=False)
+    # Sabotage: a manifest whose spec no longer parses.
+    manifest_path = service.job_dir(job_id) / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["spec"]["circuits"] = []
+    manifest["spec"]["algorithms"] = ["made_up_algo"]
+    manifest["spec"]["attacks"] = ["zero-day"]
+    manifest_path.write_text(json.dumps(manifest))
+    service.start(job_id)
+    status = service.wait(job_id, timeout=60)
+    assert status["state"] == "error"
+    assert "zero-day" in status["error"]
+    events = list(service.stream(job_id, timeout=10))
+    assert events[-1] == {
+        "event": "end",
+        "state": "error",
+        "error": status["error"],
+    }
+
+
+def test_restarted_service_recovers_interrupted_jobs(tmp_path):
+    # First service process persists the job but "dies" before running it.
+    first = SweepService(tmp_path, workers=1)
+    job_id = first.submit(SPEC, start=False)
+    del first
+
+    second = SweepService(tmp_path, workers=1)
+    assert second.recover() == [job_id]
+    status = second.wait(job_id, timeout=120)
+    assert status["state"] == "done" and status["total"] == 2
+    # Recovery is idempotent: terminal jobs are left alone.
+    assert second.recover() == []
+
+
+def test_recovered_rerun_is_served_from_cache(tmp_path):
+    service = SweepService(tmp_path, workers=1)
+    job_id = service.submit(SPEC)
+    service.wait(job_id, timeout=120)
+    # Force the job back to "running" as if the process died mid-sweep.
+    service._write_status(job_id, "running")
+    recovered = SweepService(tmp_path, workers=1)
+    assert recovered.recover() == [job_id]
+    status = recovered.wait(job_id, timeout=120)
+    assert status["state"] == "done"
+    assert status["cached"] == 2 and status["executed"] == 0
+    # rows.jsonl now holds both passes; result() dedups, last write wins.
+    rows = recovered.result(job_id)
+    assert len(rows) == 2
+    direct = run_sweep(SPEC, workers=1)
+    assert [canonical_row(r) for r in rows] == direct.canonical_rows()
+
+
+def test_enqueue_and_serve_once_drains_queue(tmp_path):
+    job_id = SweepService.enqueue(tmp_path, SPEC, workers=1)
+    other = SweepService.enqueue(
+        tmp_path,
+        SweepSpec(circuits=("s27",), algorithms=("dependent",)),
+        workers=1,
+    )
+    assert job_id != other
+    service = SweepService(tmp_path, workers=1)
+    handled = service.serve(once=True, timeout=120)
+    assert sorted(handled) == sorted([job_id, other])
+    assert service.status(job_id)["state"] == "done"
+    assert service.status(other)["state"] == "done"
+    assert not list(service.queue_dir.glob("*.json"))
+
+
+def test_new_job_ids_are_unique():
+    ids = {new_job_id(SPEC) for _ in range(16)}
+    assert len(ids) == 16
+    assert all(len(i) == 12 for i in ids)
+
+
+# ----------------------------------------------------------------------
+# CLI flow: submit --no-wait → serve --once → submit --job --stream
+# ----------------------------------------------------------------------
+def test_cli_submit_serve_stream_flow(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC.to_dict()))
+    root = str(tmp_path / "svc")
+
+    assert (
+        main(["submit", "--root", root, "--spec", str(spec_path), "--no-wait"])
+        == 0
+    )
+    job_id = capsys.readouterr().out.strip()
+    assert len(job_id) == 12
+
+    assert main(["serve", "--root", root, "--once", "--workers", "1"]) == 0
+    assert f"job {job_id}: done" in capsys.readouterr().err
+
+    assert (
+        main(["submit", "--root", root, "--job", job_id, "--stream"]) == 0
+    )
+    captured = capsys.readouterr()
+    assert captured.out.strip() == job_id
+    assert "job finished: done" in captured.err
+    assert "0 failed" in captured.err
+
+
+def test_cli_submit_requires_spec_or_job(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["submit", "--root", str(tmp_path), "--no-wait"])
+
+
+def test_cli_serve_once_reports_failed_trials(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps({"circuits": ["no_such_circuit"], "seeds": [0]})
+    )
+    root = str(tmp_path / "svc")
+    assert (
+        main(["submit", "--root", root, "--spec", str(spec_path), "--no-wait"])
+        == 0
+    )
+    # The job completes (one failed row), so serve --once exits non-zero.
+    assert main(["serve", "--root", root, "--once", "--workers", "1"]) == 1

@@ -25,6 +25,7 @@ from repro.sweep import (
     summarize,
     trial_key,
 )
+from repro.sweep import backends as backends_mod
 from repro.sweep import runner as runner_mod
 
 SMALL_SPEC = SweepSpec(
@@ -204,6 +205,71 @@ def test_non_object_cache_row_is_quarantined(tmp_path):
     ).exists()
 
 
+def test_tmp_orphans_are_not_cache_keys(tmp_path):
+    """Regression: ``iter_keys``/``__len__`` globbed ``*.json``, and
+    pathlib globs match dotfiles — a ``.tmp-*.json`` orphan from a writer
+    killed between ``mkstemp`` and ``os.replace`` surfaced as a bogus
+    cache key."""
+    cache = ResultCache(tmp_path)
+    key = "ab" * 32
+    cache.put(key, {"status": "ok"})
+    orphan = cache._path(key).parent / ".tmp-dead12.json"
+    orphan.write_text('{"status": "ok"')  # half-written, never replaced
+    assert list(cache.iter_keys()) == [key]
+    assert len(cache) == 1
+    assert ".tmp-dead12" not in cache
+
+
+def test_writer_killed_mid_put_leaves_no_key_and_is_reaped(tmp_path):
+    """Kill a real writer between ``mkstemp`` and ``os.replace`` with
+    SIGKILL; its orphan must be invisible to the index and reaped on the
+    next cache open once stale."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    key = "cd" * 32
+    script = (
+        "import os, sys, tempfile, time\n"
+        "from pathlib import Path\n"
+        "shard = Path(sys.argv[1]) / sys.argv[2][:2]\n"
+        "shard.mkdir(parents=True, exist_ok=True)\n"
+        "fd, tmp = tempfile.mkstemp(dir=str(shard), prefix='.tmp-',"
+        " suffix='.json')\n"
+        "os.write(fd, b'{\"status\": ')\n"
+        "print('ready', flush=True)\n"
+        "time.sleep(60)\n"  # SIGKILLed here, before os.replace
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(tmp_path), key],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stdout.readline().strip() == "ready"
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    (orphan,) = (tmp_path / key[:2]).glob(".tmp-*")
+    cache = ResultCache(tmp_path)  # young orphan: kept, but invisible
+    assert list(cache.iter_keys()) == []
+    assert len(cache) == 0
+    assert orphan.exists()
+
+    # Backdate the orphan past the TTL: the next open reaps it.
+    stale = time.time() - 7200
+    os.utime(orphan, (stale, stale))
+    assert ResultCache(tmp_path).reap_stale_tmp() == 0  # __init__ reaped
+    assert not orphan.exists()
+
+    # A worker-mode open (reap_tmp_ttl=None) never scans.
+    orphan.write_text("x")
+    os.utime(orphan, (stale, stale))
+    ResultCache(tmp_path, reap_tmp_ttl=None)
+    assert orphan.exists()
+
+
 # ----------------------------------------------------------------------
 # failure handling
 # ----------------------------------------------------------------------
@@ -231,32 +297,46 @@ def test_algorithm_error_inside_worker_is_captured():
     assert "made_up_algo" in row["error"]
 
 
+class ExplodingPool:
+    """Stand-in for ProcessPoolExecutor whose workers all died."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures import Future
+
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+
 def test_broken_pool_falls_back_to_serial(monkeypatch, tmp_path):
     """A worker that dies hard breaks the pool; the runner must still
-    return one row per trial by finishing serially in the parent."""
-
-    class ExplodingPool:
-        def __init__(self, max_workers=None):
-            pass
-
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def submit(self, fn, *args, **kwargs):
-            from concurrent.futures import Future
-
-            future = Future()
-            future.set_exception(BrokenProcessPool("worker died"))
-            return future
-
-    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
-    result = run_sweep(SMALL_SPEC, workers=3, cache_dir=tmp_path / "c")
+    return one row per trial by finishing serially in the parent — and
+    the degraded run must be *recorded*: ``stats.fallback_serial`` plus
+    a ``fallback`` progress event, not a silently wrong worker count."""
+    monkeypatch.setattr(backends_mod, "ProcessPoolExecutor", ExplodingPool)
+    events = []
+    result = run_sweep(
+        SMALL_SPEC, workers=3, cache_dir=tmp_path / "c",
+        progress=events.append,
+    )
     assert result.stats.total == 12
     assert not result.failed_rows()
+    assert result.stats.fallback_serial is True
+    (fallback,) = [e for e in events if e["event"] == "fallback"]
+    assert fallback["remaining"] == 12
+    assert "worker died" in fallback["reason"] or "pool" in fallback["reason"]
+    assert "[pool died" in result.stats.summary()
     fresh = run_sweep(SMALL_SPEC, workers=1, cache_dir=tmp_path / "d")
+    assert fresh.stats.fallback_serial is False
     assert result.canonical_rows() == fresh.canonical_rows()
 
 
@@ -304,6 +384,46 @@ def test_progress_events_and_eta(tmp_path):
     resume = events[0]
     assert resume["event"] == "resume"
     assert resume["done"] == resume["total"] == resume["cached"] == 6
+
+
+def test_progress_done_counter_matches_event_count(tmp_path):
+    """Regression pin for the O(n²) ``done`` recomputation: the running
+    counter must agree with an independent count maintained by the
+    consumer, event by event, for cold, warm, and partially-failed runs."""
+    for spec, cache_dir in (
+        (SweepSpec(circuits=("s27",), seeds=(0, 1, 2)), tmp_path / "a"),
+        (SweepSpec(circuits=("s27", "bogus"), seeds=(0,)), tmp_path / "b"),
+    ):
+        for _ in range(2):  # cold pass, then warm pass
+            seen = {"done": 0}
+
+            def progress(event, seen=seen):
+                if event["event"] == "resume":
+                    seen["done"] = event["done"]
+                    assert event["done"] == event["cached"]
+                elif event["event"] == "trial":
+                    seen["done"] += 1
+                    assert event["done"] == seen["done"]
+
+            result = run_sweep(spec, cache_dir=cache_dir, progress=progress)
+            assert seen["done"] == result.stats.total == result.stats.done
+
+
+def test_resolve_failure_emits_failed_trial_event(tmp_path):
+    """Regression: trials whose circuit could not even be resolved never
+    emitted a ``trial`` event, so progress consumers under-counted
+    against ``total``."""
+    events = []
+    spec = SweepSpec(
+        circuits=("no_such_circuit", "s27"), algorithms=("independent",)
+    )
+    result = run_sweep(spec, cache_dir=tmp_path / "c", progress=events.append)
+    assert result.stats.failed == 1
+    trial_events = [e for e in events if e["event"] == "trial"]
+    assert len(trial_events) == result.stats.total == 2
+    (failed_event,) = [e for e in trial_events if e["status"] == "failed"]
+    assert "no_such_circuit" in failed_event["label"]
+    assert trial_events[-1]["done"] == 2
 
 
 def test_cli_sweep_runs_and_resumes(tmp_path, capsys):
@@ -400,29 +520,12 @@ def test_broken_pool_fallback_still_accounts_wall_time(
 ):
     """Regression: the serial-fallback path returned with
     ``stats.wall_seconds`` still at its 0.0 default."""
-
-    class ExplodingPool:
-        def __init__(self, max_workers=None):
-            pass
-
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def submit(self, fn, *args, **kwargs):
-            from concurrent.futures import Future
-
-            future = Future()
-            future.set_exception(BrokenProcessPool("worker died"))
-            return future
-
-    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
-    spec = SweepSpec(circuits=("s27",), algorithms=("independent",))
+    monkeypatch.setattr(backends_mod, "ProcessPoolExecutor", ExplodingPool)
+    spec = SweepSpec(circuits=("s27",), seeds=(0, 1))
     result = run_sweep(spec, workers=2, cache_dir=tmp_path / "c")
     assert not result.failed_rows()
     assert result.stats.wall_seconds > 0.0
+    assert result.stats.fallback_serial is True
 
 
 # ----------------------------------------------------------------------
